@@ -1,0 +1,19 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out."""
+
+from repro.experiments.ablations import (
+    run_drain_duration_sweep,
+    run_lru_ablation,
+    run_ppr_retry_budget,
+)
+
+
+def test_ablation_katran_lru(figure):
+    figure(run_lru_ablation, seed=0)
+
+
+def test_ablation_drain_duration(figure):
+    figure(run_drain_duration_sweep, seed=0)
+
+
+def test_ablation_ppr_retry_budget(figure):
+    figure(run_ppr_retry_budget, seed=0)

@@ -1,0 +1,7 @@
+"""Figure 2a–2c: release cadence, root causes, commits per release."""
+
+from repro.experiments import fig02_release_cadence
+
+
+def test_fig02_release_cadence(figure):
+    figure(fig02_release_cadence.run, seed=0)

@@ -1,0 +1,7 @@
+"""Figure 2d: UDP misrouting during a naive SO_REUSEPORT handover."""
+
+from repro.experiments import fig02d_misrouting
+
+
+def test_fig02d_misrouting(figure):
+    figure(fig02d_misrouting.run, seed=0)

@@ -1,0 +1,11 @@
+"""Figure 3a/3b: capacity loss and reconnect-CPU of traditional restarts."""
+
+from repro.experiments import fig03_restart_implications
+
+
+def test_fig03a_capacity(figure):
+    figure(fig03_restart_implications.run_capacity, seed=0)
+
+
+def test_fig03b_handshake_cpu(figure):
+    figure(fig03_restart_implications.run_handshake_cpu, seed=0)

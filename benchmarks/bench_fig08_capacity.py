@@ -1,0 +1,7 @@
+"""Figure 8b: idle CPU during draining — ZDR vs HardRestart."""
+
+from repro.experiments import fig08_capacity
+
+
+def test_fig08_capacity(figure):
+    figure(fig08_capacity.run, seed=0)

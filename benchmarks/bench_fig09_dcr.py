@@ -1,0 +1,7 @@
+"""Figure 9: MQTT publish continuity and CONNACK spikes (DCR)."""
+
+from repro.experiments import fig09_dcr
+
+
+def test_fig09_dcr(figure):
+    figure(fig09_dcr.run, seed=0)

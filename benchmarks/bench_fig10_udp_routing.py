@@ -1,0 +1,7 @@
+"""Figure 10: UDP misrouting — CID routing vs traditional."""
+
+from repro.experiments import fig10_udp_routing
+
+
+def test_fig10_udp_routing(figure):
+    figure(fig10_udp_routing.run, seed=0)

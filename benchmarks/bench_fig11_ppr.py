@@ -1,0 +1,7 @@
+"""Figure 11: POST disruptions rescued by Partial Post Replay."""
+
+from repro.experiments import fig11_ppr
+
+
+def test_fig11_ppr(figure):
+    figure(fig11_ppr.run, seed=0)

@@ -1,0 +1,7 @@
+"""Figure 12: proxy error classes, traditional vs ZDR."""
+
+from repro.experiments import fig12_proxy_errors
+
+
+def test_fig12_proxy_errors(figure):
+    figure(fig12_proxy_errors.run, seed=0)

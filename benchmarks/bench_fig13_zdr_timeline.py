@@ -1,0 +1,7 @@
+"""Figure 13: cluster metrics through a 20% ZDR batch restart."""
+
+from repro.experiments import fig13_zdr_timeline
+
+
+def test_fig13_zdr_timeline(figure):
+    figure(fig13_zdr_timeline.run, seed=0)

@@ -1,0 +1,7 @@
+"""Figure 15: release hour-of-day PDFs (peak-hour releases)."""
+
+from repro.experiments import fig15_release_hours
+
+
+def test_fig15_release_hours(figure):
+    figure(fig15_release_hours.run, seed=0)

@@ -1,0 +1,15 @@
+"""Figure 16: global release completion times."""
+
+from repro.experiments import fig16_completion_time
+
+
+def test_fig16_completion_time(figure):
+    figure(fig16_completion_time.run, seed=0)
+
+
+def test_fig16_des_crosscheck(figure):
+    figure(fig16_completion_time.run_des_crosscheck, seed=0)
+
+
+def test_fig16_global_des(figure):
+    figure(fig16_completion_time.run_global_des, seed=0)

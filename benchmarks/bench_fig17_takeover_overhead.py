@@ -1,0 +1,7 @@
+"""Figure 17: Socket Takeover system overheads."""
+
+from repro.experiments import fig17_takeover_overhead
+
+
+def test_fig17_takeover_overhead(figure):
+    figure(fig17_takeover_overhead.run, seed=0)

@@ -1,0 +1,32 @@
+"""Benchmark harness helpers.
+
+Each ``bench_fig*.py`` regenerates one figure of the paper: it runs the
+experiment under ``pytest-benchmark`` (one round — these are whole-system
+simulations, not micro-benchmarks), prints the figure's rows, and asserts
+the paper-shape claims.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, run_fn, **kwargs):
+    """Execute ``run_fn`` once under the benchmark timer; print + check."""
+    result = benchmark.pedantic(
+        lambda: run_fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    result.print()
+    failed = [name for name, ok in result.claims.items() if not ok]
+    assert not failed, f"paper-shape claims failed: {failed}"
+    return result
+
+
+@pytest.fixture
+def figure(benchmark):
+    """Fixture: ``figure(run_fn, **kwargs)`` runs one figure harness."""
+    def _run(run_fn, **kwargs):
+        return run_experiment(benchmark, run_fn, **kwargs)
+    return _run

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Downstream Connection Reuse walkthrough (§4.2).
+
+Persistent MQTT users publish and receive notifications through
+Edge → Origin → broker tunnels.  We restart the whole Origin tier and
+watch what happens to the end users — first with DCR, then without.
+
+Run:  python examples/mqtt_dcr.py
+"""
+
+from repro import Deployment, DeploymentSpec, RollingRelease, RollingReleaseConfig
+from repro.clients import MqttWorkloadConfig
+from repro.proxygen import ProxygenConfig
+
+
+def run_arm(enable_dcr: bool) -> None:
+    label = "WITH DCR" if enable_dcr else "WITHOUT DCR"
+    spec = DeploymentSpec(
+        seed=11,
+        edge_proxies=3, origin_proxies=3, app_servers=2, brokers=2,
+        origin_config=ProxygenConfig(mode="origin", drain_duration=10.0,
+                                     enable_takeover=True,
+                                     enable_dcr=enable_dcr,
+                                     spawn_delay=1.0),
+        web_workload=None, quic_workload=None,
+        mqtt_workload=MqttWorkloadConfig(users_per_host=30,
+                                         publish_interval=2.0))
+    dep = Deployment(spec)
+    dep.start()
+    dep.run(until=25)
+
+    clients = dep.metrics.scoped_counters("mqtt-clients")
+    sessions = clients.get("sessions_established")
+    print(f"\n=== {label} ===")
+    print(f"t=25s  {sessions:.0f} MQTT sessions up, publishes flowing")
+
+    print("       restarting the ENTIRE origin tier, one proxy at a time...")
+    release = RollingRelease(dep.env, dep.origin_servers,
+                             RollingReleaseConfig(batch_fraction=0.34,
+                                                  post_batch_wait=2.0))
+    done = dep.env.process(release.execute())
+    dep.env.run(until=done)
+    dep.run(until=70)
+
+    rehomed = sum(s.counters.get("dcr_rehomed") for s in dep.edge_servers)
+    broken = clients.get("session_broken")
+    reconnects = clients.get("reconnects")
+    connacks = sum(b.counters.get("mqtt_connack_sent") for b in dep.brokers)
+    dropped = sum(b.counters.get("publish_dropped_no_path")
+                  for b in dep.brokers)
+    print(f"t=70s  tunnels re-homed through healthy origins : {rehomed:.0f}")
+    print(f"       end-user sessions broken                 : {broken:.0f}")
+    print(f"       client reconnects (the storm)            : {reconnects:.0f}")
+    print(f"       broker CONNACKs sent                     : {connacks:.0f}"
+          f"  (initial connects + reconnect spike)")
+    print(f"       notifications dropped (no path to user)  : {dropped:.0f}")
+
+
+def main() -> None:
+    print("Restarting Origin proxies under live MQTT traffic.")
+    print("The Origin hop only relays packets - DCR exploits exactly that.")
+    run_arm(enable_dcr=True)
+    run_arm(enable_dcr=False)
+    print("\nWith DCR the edge splices tunnels to healthy origins and the "
+          "end users never notice;\nwithout it, every tunnel dies with the "
+          "drain and billions of clients would reconnect at once.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Zero Downtime Release — a reproduction of the SIGCOMM 2020 paper.
+
+This package implements, as a deterministic discrete-event simulation plus
+a real-OS mechanism library, the disruption-free release framework
+described in "Zero Downtime Release: Disruption-free Load Balancing of a
+Multi-Billion User Website" (Facebook / Brown University, SIGCOMM 2020):
+
+* **Socket Takeover** — restart an L7 load balancer by passing listening
+  socket FDs (TCP and UDP) to a freshly spawned instance.
+* **Downstream Connection Reuse** — keep MQTT end-user connections alive
+  across Origin proxy restarts by re-homing tunnels through a healthy
+  proxy.
+* **Partial Post Replay** — hand half-received POST uploads from a
+  restarting app server to a healthy one via HTTP status 379.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproduction index.
+"""
+
+__version__ = "1.0.0"
+
+from . import appserver
+from . import clients
+from . import cluster
+from . import lb
+from . import metrics
+from . import netsim
+from . import protocols
+from . import proxygen
+from . import release
+from . import simkernel
+from .cluster import Deployment, DeploymentSpec
+from .release import RollingRelease, RollingReleaseConfig
+
+__all__ = [
+    "appserver",
+    "clients",
+    "cluster",
+    "lb",
+    "metrics",
+    "netsim",
+    "protocols",
+    "proxygen",
+    "release",
+    "simkernel",
+    "Deployment",
+    "DeploymentSpec",
+    "RollingRelease",
+    "RollingReleaseConfig",
+    "__version__",
+]

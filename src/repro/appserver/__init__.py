@@ -1,0 +1,17 @@
+"""Application tier: HHVM-like app servers (with PPR) and MQTT brokers."""
+
+from .brokers import BrokerConfig, BrokerSession, MqttBroker
+from .config import AppServerConfig
+from .hhvm import AppServer, InFlightPost
+from .pool import AppServerPool, UpstreamConnectionPool
+
+__all__ = [
+    "AppServer",
+    "AppServerConfig",
+    "AppServerPool",
+    "BrokerConfig",
+    "BrokerSession",
+    "InFlightPost",
+    "MqttBroker",
+    "UpstreamConnectionPool",
+]

@@ -1,0 +1,245 @@
+"""The HHVM-like application server with Partial Post Replay (§4.3).
+
+Behavioural contract with the paper:
+
+* Short API requests dominate; they finish well inside the 10–15 s
+  drain.
+* Long POST uploads outlive the drain.  On restart the server either
+  fails them with **500** (no PPR) or answers **379 PartialPOST**,
+  echoing the partially received body back to the downstream proxy so it
+  can replay the request to a healthy server.
+* No parallel instance on restart: after the old process exits there is
+  a downtime window while the new one spawns and primes its cache
+  (CPU + memory burst).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..netsim.addresses import Endpoint
+from ..netsim.host import Host
+from ..netsim.packet import StreamControl
+from ..netsim.process import SimProcess
+from ..netsim.sockets import TcpEndpoint, TcpListenSocket
+from ..protocols.http import (
+    BodyChunk,
+    HttpRequest,
+    HttpResponse,
+    PARTIAL_POST_STATUS_MESSAGE,
+    STATUS_INTERNAL_ERROR,
+    STATUS_OK,
+    STATUS_PARTIAL_POST_REPLAY,
+    echo_pseudo_headers,
+)
+from .config import AppServerConfig
+
+__all__ = ["AppServer", "InFlightPost"]
+
+
+class InFlightPost:
+    """State of one streaming POST the server is still receiving."""
+
+    def __init__(self, request: HttpRequest, conn: TcpEndpoint):
+        self.request = request
+        self.conn = conn
+        self.received_bytes = 0
+        self.received_chunks = 0
+        self.complete = False
+
+
+class AppServer:
+    """One app-server machine across restarts."""
+
+    STATE_ACTIVE = "active"
+    STATE_DRAINING = "draining"
+    STATE_DOWN = "down"
+
+    def __init__(self, host: Host, config: Optional[AppServerConfig] = None,
+                 name: Optional[str] = None):
+        self.host = host
+        self.config = config or AppServerConfig()
+        self.config.validate()
+        self.name = name or f"appserver@{host.name}"
+        self.endpoint = Endpoint(host.ip, self.config.port)
+        self.counters = host.metrics.scoped_counters(self.name)
+        self.state = self.STATE_DOWN
+        self.generation = 0
+        self.process: Optional[SimProcess] = None
+        self.listener: Optional[TcpListenSocket] = None
+        self.in_flight_posts: dict[int, InFlightPost] = {}
+        self._rng = host.streams.stream("appserver")
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def accepting(self) -> bool:
+        return self.state == self.STATE_ACTIVE
+
+    def start(self) -> None:
+        """Boot the first generation (synchronous bind)."""
+        self._boot_process()
+
+    def _boot_process(self) -> None:
+        self.generation += 1
+        self.process = self.host.spawn(f"hhvm-gen{self.generation}")
+        self.process.base_memory = self.config.base_memory
+        self.process.memory_per_connection = self.config.memory_per_connection
+        _, self.listener = self.host.kernel.tcp_listen(
+            self.process, self.endpoint)
+        self.state = self.STATE_ACTIVE
+        self.process.run(self._accept_loop(self.process, self.listener))
+
+    def restart(self):
+        """Generator: one rolling-release restart of this server.
+
+        drain → (379 | 500) the incomplete POSTs → exit → downtime with
+        cache priming → new generation binds and serves.
+        """
+        if self.state != self.STATE_ACTIVE:
+            return
+        env = self.host.env
+        self.state = self.STATE_DRAINING
+        self.listener.pause_accepting()
+        self.counters.inc("restart_started")
+        yield env.timeout(self.config.drain_duration)
+
+        # Requests with incomplete bodies at the end of draining.
+        for post in list(self.in_flight_posts.values()):
+            if post.conn.alive:
+                if self.config.enable_ppr:
+                    self._reply_partial_post(post)
+                else:
+                    self._reply_error(post)
+        self.in_flight_posts.clear()
+
+        old = self.process
+        self.state = self.STATE_DOWN
+        old.exit("release")
+        # New process: spawn + cache priming burn (no parallel instance —
+        # the machine simply is not serving during this window).
+        priming = self.host.spawn(f"hhvm-gen{self.generation + 1}")
+        priming.base_memory = (self.config.base_memory
+                               + self.config.priming_memory)
+        self.host.cpu.background(self.config.costs.cache_priming)
+        yield env.timeout(self.config.restart_downtime)
+        priming.exit("priming helper done")
+        self._boot_process()
+        self.counters.inc("restart_finished")
+
+    def _reply_partial_post(self, post: InFlightPost) -> None:
+        """The 379 path: echo partial body + pseudo-headers downstream."""
+        response = HttpResponse(
+            status=STATUS_PARTIAL_POST_REPLAY,
+            request_id=post.request.id,
+            status_message=PARTIAL_POST_STATUS_MESSAGE,
+            headers=echo_pseudo_headers(post.request),
+            partial_body_size=post.received_bytes,
+            partial_chunks=post.received_chunks,
+        )
+        # Echoing the body costs real bandwidth (the §4.3 caveat) —
+        # size the response accordingly.
+        post.conn.send(response, size=max(200, post.received_bytes))
+        post.conn.close()
+        self.counters.inc("http_status", tag="379")
+        self.counters.inc("ppr_bytes_echoed", post.received_bytes)
+
+    def _reply_error(self, post: InFlightPost) -> None:
+        response = HttpResponse(
+            status=STATUS_INTERNAL_ERROR, request_id=post.request.id,
+            status_message="Internal Server Error")
+        post.conn.send(response, size=200)
+        post.conn.close()
+        self.counters.inc("http_status", tag="500")
+
+    # -- serving ------------------------------------------------------------
+
+    def _accept_loop(self, process: SimProcess, listener: TcpListenSocket):
+        while process.alive and not listener.closed:
+            conn = yield listener.accept(process)
+            yield from self.host.cpu.execute(self.config.costs.tcp_handshake)
+            process.run(self._serve_conn(process, conn))
+
+    def _serve_conn(self, process: SimProcess, conn: TcpEndpoint):
+        while process.alive and conn.alive:
+            item = yield conn.recv()
+            if isinstance(item, StreamControl):
+                break
+            payload = item.payload
+            if isinstance(payload, HttpRequest):
+                if payload.streaming and payload.method == "POST":
+                    yield from self._serve_streaming_post(conn, payload)
+                else:
+                    yield from self._serve_short_request(conn, payload)
+            # else: ignore unknown payloads
+
+    def _serve_short_request(self, conn: TcpEndpoint, request: HttpRequest):
+        costs = self.config.costs
+        yield from self.host.cpu.execute(costs.http_request)
+        yield self.host.env.timeout(
+            self._rng.expovariate(1.0 / self.config.service_time_mean))
+        if not conn.alive:
+            return
+        if (self.config.rogue_status_fraction > 0
+                and self._rng.random() < self.config.rogue_status_fraction):
+            # §5.2 incident mode: memory corruption produced random
+            # status codes — sometimes exactly 379, but never with the
+            # PartialPOST status message.
+            status = self._rng.choice(
+                [STATUS_PARTIAL_POST_REPLAY, 287, 512, 379, 444])
+            conn.send(HttpResponse(status, request_id=request.id,
+                                   status_message="garbage"), size=600)
+            self.counters.inc("http_status", tag="rogue")
+            return
+        conn.send(HttpResponse(STATUS_OK, request_id=request.id),
+                  size=600)
+        self.counters.inc("http_status", tag="200")
+        self.counters.inc("requests_served")
+
+    def _serve_streaming_post(self, conn: TcpEndpoint, request: HttpRequest):
+        """Receive body chunks until done (or until a restart interrupts)."""
+        post = InFlightPost(request, conn)
+        self.in_flight_posts[request.id] = post
+        costs = self.config.costs
+        while True:
+            item = yield conn.recv()
+            if isinstance(item, StreamControl):
+                # Proxy/connection went away mid-upload.
+                self.in_flight_posts.pop(request.id, None)
+                return
+            chunk = item.payload
+            if not isinstance(chunk, BodyChunk):
+                continue
+            post.received_bytes += chunk.data_size
+            post.received_chunks += 1
+            yield from self.host.cpu.execute(
+                costs.post_byte * chunk.data_size)
+            if chunk.is_last:
+                break
+        post.complete = True
+        self.in_flight_posts.pop(request.id, None)
+        yield from self.host.cpu.execute(costs.http_request)
+        if not conn.alive:
+            return
+        if post.received_bytes < request.body_size:
+            # A replay that lost part of the body (a proxy-side PPR bug)
+            # must not be silently accepted.
+            conn.send(HttpResponse(400, request_id=request.id,
+                                   status_message="Incomplete Body"),
+                      size=200)
+            self.counters.inc("http_status", tag="400")
+            self.counters.inc("posts_incomplete")
+            return
+        if (self.config.rogue_status_fraction > 0
+                and self._rng.random() < self.config.rogue_status_fraction):
+            # §5.2 incident: a bare 379 (no PartialPOST message) on the
+            # POST path — the case that forced the strict check.
+            conn.send(HttpResponse(STATUS_PARTIAL_POST_REPLAY,
+                                   request_id=request.id,
+                                   status_message="garbage"), size=600)
+            self.counters.inc("http_status", tag="rogue")
+            return
+        conn.send(HttpResponse(STATUS_OK, request_id=request.id),
+                  size=600)
+        self.counters.inc("http_status", tag="200")
+        self.counters.inc("posts_completed")

@@ -1,0 +1,100 @@
+"""App-server pool view and upstream connection pooling for the Origin.
+
+The Origin Proxygen health-checks and load-balances across the HHVM
+fleet; this module provides (a) the pool membership/pick logic, and (b)
+a small keep-alive connection pool so the proxy does not pay a TCP
+handshake per forwarded request.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..netsim.errors import ConnectionRefusedSim
+from ..netsim.host import Host
+from ..netsim.process import SimProcess
+from ..netsim.sockets import TcpEndpoint
+from .hhvm import AppServer
+
+__all__ = ["AppServerPool", "UpstreamConnectionPool"]
+
+
+class AppServerPool:
+    """Membership + pick logic over the app-server fleet."""
+
+    def __init__(self, servers: Optional[list[AppServer]] = None):
+        self.servers: list[AppServer] = list(servers or [])
+        self._rr = 0
+
+    def add(self, server: AppServer) -> None:
+        self.servers.append(server)
+
+    def healthy(self, exclude: tuple[str, ...] = ()) -> list[AppServer]:
+        """Servers currently accepting (the proxy's health view)."""
+        return [s for s in self.servers
+                if s.accepting and s.host.ip not in exclude]
+
+    def pick(self, exclude: tuple[str, ...] = ()) -> Optional[AppServer]:
+        """Round-robin over healthy servers, skipping ``exclude``."""
+        candidates = self.healthy(exclude)
+        if not candidates:
+            return None
+        self._rr += 1
+        return candidates[self._rr % len(candidates)]
+
+
+class UpstreamConnectionPool:
+    """Keep-alive TCP connections from one proxy process to upstreams.
+
+    ``checkout`` hands an idle connection to the destination or dials a
+    new one; ``checkin`` returns it for reuse.  Dead connections are
+    discarded on checkout.
+    """
+
+    def __init__(self, host: Host, process: SimProcess,
+                 max_idle_per_dest: int = 8):
+        self.host = host
+        self.process = process
+        self.max_idle_per_dest = max_idle_per_dest
+        self._idle: dict[tuple[str, int], list[TcpEndpoint]] = {}
+        self.dials = 0
+        self.reuses = 0
+
+    def checkout(self, ip: str, port: int):
+        """Generator: yields a live TcpEndpoint to (ip, port).
+
+        Raises :class:`ConnectionRefusedSim` if the destination refuses.
+        """
+        key = (ip, port)
+        idle = self._idle.get(key, [])
+        while idle:
+            conn = idle.pop()
+            if conn.alive and not conn.fin_received:
+                self.reuses += 1
+                return conn
+        from ..netsim.addresses import Endpoint
+        conn = yield self.host.kernel.tcp_connect(
+            self.process, Endpoint(ip, port))
+        self.dials += 1
+        return conn
+
+    def checkin(self, conn: TcpEndpoint) -> None:
+        """Return a connection for reuse (closes it if over the cap)."""
+        if not conn.alive or conn.fin_received:
+            return
+        key = (conn.remote.ip, conn.remote.port)
+        bucket = self._idle.setdefault(key, [])
+        if len(bucket) >= self.max_idle_per_dest:
+            conn.close()
+            return
+        bucket.append(conn)
+
+    def discard_destination(self, ip: str, port: int) -> None:
+        for conn in self._idle.pop((ip, port), []):
+            conn.close()
+
+    def close_all(self) -> None:
+        for bucket in self._idle.values():
+            for conn in bucket:
+                conn.close()
+        self._idle.clear()

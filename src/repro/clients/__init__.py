@@ -1,0 +1,17 @@
+"""Client populations: web (GET/POST), MQTT pub/sub users, QUIC flows."""
+
+from .base import ClientBase, Router
+from .mqtt import MqttClientPopulation, MqttWorkloadConfig
+from .quic import QuicClientPopulation, QuicWorkloadConfig
+from .web import WebClientPopulation, WebWorkloadConfig
+
+__all__ = [
+    "ClientBase",
+    "Router",
+    "MqttClientPopulation",
+    "MqttWorkloadConfig",
+    "QuicClientPopulation",
+    "QuicWorkloadConfig",
+    "WebClientPopulation",
+    "WebWorkloadConfig",
+]

@@ -1,0 +1,182 @@
+"""MQTT client population: billions of users, scaled down.
+
+Each user keeps one persistent MQTT connection (tunneled Edge → Origin →
+broker), publishes occasionally, pings periodically, and — because MQTT
+"requires [the] underlying transport session to be always available" —
+reconnects as soon as the transport breaks (§4.2).  The reconnect storm
+those clients generate is exactly what DCR avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.registry import MetricsRegistry
+from ..netsim.addresses import Endpoint
+from ..netsim.errors import ConnectionResetSim, SocketClosedSim
+from ..netsim.host import Host
+from ..netsim.packet import StreamControl
+from ..netsim.proc_utils import TIMED_OUT, with_timeout
+from ..netsim.process import SimProcess
+from ..protocols.mqtt import (
+    MqttConnAck,
+    MqttConnect,
+    MqttPingReq,
+    MqttPublish,
+    ReconnectSolicitation,
+)
+from ..protocols.tls import TlsClientHello, TlsServerDone
+from ..simkernel.rng import DistributionSampler
+from .base import ClientBase, Router
+
+__all__ = ["MqttWorkloadConfig", "MqttClientPopulation"]
+
+
+@dataclass
+class MqttWorkloadConfig:
+    users_per_host: int = 50
+    #: Mean seconds between upstream publishes per user.
+    publish_interval: float = 8.0
+    ping_interval: float = 15.0
+    connect_timeout: float = 5.0
+    reconnect_backoff_min: float = 0.5
+    reconnect_backoff_max: float = 2.5
+    #: Client-side support for the edge's reconnect solicitation (§4.2
+    #: caveat: edge DCR needs the end-user application to understand the
+    #: connection-reuse workflow).
+    supports_reconnect_solicitation: bool = True
+    #: Real MQTT clients speak TLS to the edge; re-handshakes are what
+    #: makes reconnect storms expensive (§2.5).
+    use_tls: bool = True
+
+
+class MqttClientPopulation:
+    """Pub/sub users behind the Edge."""
+
+    def __init__(self, hosts: list[Host], vip: Endpoint, router: Router,
+                 metrics: MetricsRegistry,
+                 config: MqttWorkloadConfig | None = None,
+                 name: str = "mqtt-clients", first_user_id: int = 1):
+        self.hosts = hosts
+        self.vip = vip
+        self.router = router
+        self.metrics = metrics
+        self.config = config or MqttWorkloadConfig()
+        self.name = name
+        self.counters = metrics.scoped_counters(name)
+        self._next_user = first_user_id
+
+    def start(self) -> None:
+        for host in self.hosts:
+            base = ClientBase(host, self.name, self.vip, self.router,
+                              self.metrics)
+            for _ in range(self.config.users_per_host):
+                user_id = self._next_user
+                self._next_user += 1
+                process = host.spawn(f"mqtt-user-{user_id}")
+                sampler = DistributionSampler(
+                    host.streams.stream(f"mqtt-{user_id}"))
+                process.run(self._user_loop(base, process, user_id, sampler))
+
+    def _user_loop(self, base: ClientBase, process: SimProcess,
+                   user_id: int, sampler: DistributionSampler):
+        env = base.host.env
+        config = self.config
+        while process.alive:
+            conn = yield from self._connect(base, process, user_id)
+            if conn is None:
+                yield env.timeout(sampler.uniform(
+                    config.reconnect_backoff_min,
+                    config.reconnect_backoff_max))
+                continue
+            self.counters.inc("sessions_established")
+            ending = yield from self._session(base, conn, user_id, sampler)
+            if ending == "solicited":
+                # Edge-side DCR: the proxy asked us to move *before* the
+                # drain deadline — reconnect immediately and gracefully,
+                # no user-visible gap, no RST.
+                self.counters.inc("proactive_reconnects")
+                self.metrics.series("mqtt/proactive_reconnects").record(
+                    env.now)
+                continue
+            # Session broke under us: back off, then reconnect.
+            self.counters.inc("reconnects")
+            self.metrics.series("mqtt/client_reconnects").record(env.now)
+            yield env.timeout(sampler.uniform(
+                config.reconnect_backoff_min, config.reconnect_backoff_max))
+
+    def _connect(self, base: ClientBase, process: SimProcess, user_id: int):
+        conn = yield from base.connect_routed(
+            process, timeout=self.config.connect_timeout)
+        if conn is None:
+            return None
+        if self.config.use_tls:
+            try:
+                conn.send(TlsClientHello(), size=320)
+            except (SocketClosedSim, ConnectionResetSim):
+                return None
+            outcome = yield from with_timeout(
+                base.host.env, conn.recv(), self.config.connect_timeout)
+            if (outcome is TIMED_OUT or isinstance(outcome, StreamControl)
+                    or not isinstance(outcome.payload, TlsServerDone)):
+                self.counters.inc("tls_failed")
+                if conn.alive:
+                    conn.abort(reason="tls_failed")
+                return None
+        try:
+            conn.send(MqttConnect(user_id), size=120)
+        except (SocketClosedSim, ConnectionResetSim):
+            return None
+        outcome = yield from with_timeout(
+            base.host.env, conn.recv(), self.config.connect_timeout)
+        if (outcome is TIMED_OUT or isinstance(outcome, StreamControl)
+                or not isinstance(outcome.payload, MqttConnAck)):
+            self.counters.inc("connect_failed")
+            if conn is not None and conn.alive:
+                conn.abort(reason="mqtt_connect_failed")
+            return None
+        return conn
+
+    def _session(self, base: ClientBase, conn, user_id: int,
+                 sampler: DistributionSampler):
+        """One established session: publish, ping, consume notifications."""
+        env = base.host.env
+        config = self.config
+        seq = 0
+        next_publish = env.now + sampler.exponential(config.publish_interval)
+        next_ping = env.now + config.ping_interval
+        while conn.alive:
+            wake = min(next_publish, next_ping)
+            delay = max(0.0, wake - env.now)
+            outcome = yield from with_timeout(env, conn.recv(), delay or 1e-4)
+            if outcome is TIMED_OUT:
+                try:
+                    if env.now >= next_publish:
+                        seq += 1
+                        conn.send(MqttPublish(user_id, "status", seq),
+                                  size=80)
+                        self.counters.inc("publishes_sent")
+                        self.metrics.series("mqtt/client_publish").record(
+                            env.now)
+                        next_publish = env.now + sampler.exponential(
+                            config.publish_interval)
+                    if env.now >= next_ping:
+                        conn.send(MqttPingReq(user_id), size=16)
+                        next_ping = env.now + config.ping_interval
+                except (SocketClosedSim, ConnectionResetSim):
+                    self.counters.inc("session_broken")
+                    return "broken"
+                continue
+            if isinstance(outcome, StreamControl):
+                self.counters.inc("session_broken")
+                return "broken"
+            message = outcome.payload
+            if isinstance(message, MqttPublish):
+                self.counters.inc("publishes_received")
+                self.metrics.series("mqtt/client_publish_received").record(
+                    env.now)
+            elif isinstance(message, ReconnectSolicitation) \
+                    and config.supports_reconnect_solicitation:
+                conn.close()  # graceful: the proxy tears the tunnel down
+                return "solicited"
+            # ping responses, acks and ignored solicitations: no action

@@ -1,0 +1,201 @@
+"""Web client population: short API requests and long POST uploads.
+
+Matches the workload sketch of §2: HHVM workloads are "dominated by
+short-lived API requests" but also serve long-lived HTTP POST uploads —
+the requests PPR exists for.  Clients keep persistent connections,
+retry over the (slow) WAN when a request fails, and reconnect when a
+restarting proxy resets them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..metrics.registry import MetricsRegistry
+from ..netsim.addresses import Endpoint
+from ..netsim.cpu import CpuCosts
+from ..netsim.errors import ConnectionResetSim, SocketClosedSim
+from ..netsim.host import Host
+from ..netsim.packet import ControlType, StreamControl
+from ..netsim.proc_utils import TIMED_OUT, with_timeout
+from ..netsim.process import SimProcess
+from ..protocols.http import BodyChunk, HttpRequest, HttpResponse, STATUS_OK
+from ..protocols.tls import TlsClientHello, TlsServerDone
+from ..simkernel.rng import DistributionSampler
+from .base import ClientBase, Router
+
+__all__ = ["WebWorkloadConfig", "WebClientPopulation"]
+
+
+@dataclass
+class WebWorkloadConfig:
+    """Shape of the web workload."""
+
+    clients_per_host: int = 25
+    #: Mean seconds between requests for one client.
+    think_time: float = 2.0
+    cacheable_fraction: float = 0.5
+    #: Fraction of requests that are streaming POST uploads.
+    post_fraction: float = 0.05
+    #: Bounded-Pareto POST sizes (bytes).
+    post_size_min: int = 50_000
+    post_size_alpha: float = 1.3
+    post_size_cap: int = 20_000_000
+    #: Client upload bandwidth (bytes/s) — sets upload duration.
+    upload_bandwidth: float = 250_000.0
+    post_chunk_size: int = 64_000
+    request_timeout: float = 20.0
+    reconnect_backoff: float = 1.0
+    use_tls: bool = True
+
+
+class WebClientPopulation:
+    """Many web users spread over a few client hosts."""
+
+    def __init__(self, hosts: list[Host], vip: Endpoint, router: Router,
+                 metrics: MetricsRegistry,
+                 config: WebWorkloadConfig | None = None,
+                 name: str = "web-clients"):
+        self.hosts = hosts
+        self.vip = vip
+        self.router = router
+        self.metrics = metrics
+        self.config = config or WebWorkloadConfig()
+        self.name = name
+        self.counters = metrics.scoped_counters(name)
+        self._client_serial = 0
+
+    def start(self) -> None:
+        """Spawn every client's driver process."""
+        for host in self.hosts:
+            base = ClientBase(host, self.name, self.vip, self.router,
+                              self.metrics)
+            for _ in range(self.config.clients_per_host):
+                self._client_serial += 1
+                process = host.spawn(f"web-client-{self._client_serial}")
+                sampler = DistributionSampler(
+                    host.streams.stream(f"web-{self._client_serial}"))
+                process.run(self._client_loop(base, process, sampler))
+
+    # -- the per-client driver ------------------------------------------------
+
+    def _client_loop(self, base: ClientBase, process: SimProcess,
+                     sampler: DistributionSampler):
+        env = base.host.env
+        config = self.config
+        conn = None
+        while process.alive:
+            if conn is None or not conn.alive:
+                conn = yield from self._establish(base, process)
+                if conn is None:
+                    yield env.timeout(config.reconnect_backoff
+                                      + sampler.uniform(0, 1))
+                    continue
+            yield env.timeout(sampler.exponential(config.think_time))
+            if not conn.alive:
+                continue
+            if sampler.bernoulli(config.post_fraction):
+                done = yield from self._do_post(base, conn, sampler)
+            else:
+                done = yield from self._do_get(base, conn, sampler)
+            if not done:
+                # Request-level failure: drop the connection and let the
+                # next loop iteration reconnect (possibly elsewhere).
+                if conn.alive:
+                    conn.close()
+                conn = None
+
+    def _establish(self, base: ClientBase, process: SimProcess):
+        conn = yield from base.connect_routed(process)
+        if conn is None:
+            return None
+        if self.config.use_tls:
+            conn.send(TlsClientHello(), size=320)
+            outcome = yield from with_timeout(base.host.env, conn.recv(), 5.0)
+            if outcome is TIMED_OUT or isinstance(outcome, StreamControl) \
+                    or not isinstance(outcome.payload, TlsServerDone):
+                self.counters.inc("tls_failed")
+                if conn.alive:
+                    conn.abort(reason="tls_failed")
+                return None
+            self.counters.inc("tls_established")
+        return conn
+
+    def _do_get(self, base: ClientBase, conn, sampler: DistributionSampler):
+        config = self.config
+        cacheable = sampler.bernoulli(config.cacheable_fraction)
+        request = HttpRequest(
+            "GET", "/api/feed",
+            headers={"cacheable": "1"} if cacheable else {})
+        start = base.host.env.now
+        try:
+            conn.send(request, size=350)
+        except (SocketClosedSim, ConnectionResetSim):
+            self.counters.inc("request_conn_reset")
+            return False
+        outcome = yield from with_timeout(
+            base.host.env, conn.recv(), config.request_timeout)
+        return self._digest_response(base, outcome, start, kind="get")
+
+    def _do_post(self, base: ClientBase, conn, sampler: DistributionSampler):
+        """A streaming upload paced by the client's WAN bandwidth."""
+        config = self.config
+        size = int(sampler.pareto(config.post_size_alpha,
+                                  config.post_size_min,
+                                  cap=config.post_size_cap))
+        request = HttpRequest("POST", "/upload", body_size=size,
+                              streaming=True)
+        env = base.host.env
+        start = env.now
+        self.counters.inc("posts_started")
+        try:
+            conn.send(request, size=400)
+            sent, seq = 0, 0
+            while sent < size:
+                chunk_size = min(config.post_chunk_size, size - sent)
+                sent += chunk_size
+                seq += 1
+                yield env.timeout(chunk_size / config.upload_bandwidth)
+                # An error response may arrive mid-upload (500 from a
+                # restarting app server without PPR).
+                early = conn.inbox.try_get()
+                if early is not None:
+                    return self._digest_response(base, early, start,
+                                                 kind="post")
+                conn.send(BodyChunk(request.id, chunk_size, seq,
+                                    is_last=(sent >= size)),
+                          size=chunk_size)
+        except (SocketClosedSim, ConnectionResetSim):
+            self.counters.inc("post_conn_reset")
+            self.metrics.series("client/post_disrupted").record(env.now)
+            return False
+        outcome = yield from with_timeout(
+            env, conn.recv(), config.request_timeout)
+        return self._digest_response(base, outcome, start, kind="post")
+
+    def _digest_response(self, base: ClientBase, outcome, start: float,
+                         kind: str):
+        env = base.host.env
+        if outcome is TIMED_OUT:
+            self.counters.inc(f"{kind}_timeout")
+            self.metrics.series("client/request_timeout").record(env.now)
+            return False
+        item = outcome
+        if isinstance(item, StreamControl):
+            tag = ("conn_reset" if item.kind == ControlType.RST
+                   else "conn_closed")
+            self.counters.inc(f"{kind}_{tag}")
+            if item.kind == ControlType.RST:
+                self.metrics.series("client/conn_reset").record(env.now)
+            return False
+        response: HttpResponse = item.payload
+        self.counters.inc("http_status_seen", tag=str(response.status))
+        if response.status == STATUS_OK:
+            self.counters.inc(f"{kind}_ok")
+            self.metrics.quantiles(f"client/{kind}_latency").add(
+                env.now - start)
+            self.metrics.series("client/requests_ok").record(env.now)
+            return True
+        self.counters.inc(f"{kind}_error")
+        self.metrics.series("client/requests_error").record(env.now)
+        return False

@@ -1,0 +1,231 @@
+"""Build and run one end-to-end deployment: Edge PoP → Origin DC → apps.
+
+This assembles the paper's Figure 1: clients reach an Edge PoP over the
+WAN; the Edge's Katran consistent-hashes flows over Edge Proxygen
+machines; Edge and Origin Proxygen keep HTTP/2 connections; the Origin
+forwards to HHVM app servers and MQTT brokers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..appserver.brokers import MqttBroker
+from ..appserver.hhvm import AppServer
+from ..appserver.pool import AppServerPool
+from ..clients.mqtt import MqttClientPopulation
+from ..clients.quic import QuicClientPopulation
+from ..clients.web import WebClientPopulation
+from ..lb.consistent_hash import ConsistentHashRing
+from ..lb.katran import Katran
+from ..metrics.registry import MetricsRegistry
+from ..netsim.addresses import Endpoint, Protocol, VIP
+from ..netsim.host import Host
+from ..netsim.network import (
+    EDGE_ORIGIN,
+    INTRA_DC,
+    WAN_CLIENT_EDGE,
+    Network,
+)
+from ..proxygen.context import ProxyTierContext
+from ..proxygen.server import ProxygenServer
+from ..simkernel.core import Environment
+from ..simkernel.events import AllOf
+from ..simkernel.rng import RandomStreams
+from .spec import DeploymentSpec
+
+__all__ = ["Deployment"]
+
+
+class Deployment:
+    """One built (but not yet started) end-to-end deployment."""
+
+    def __init__(self, spec: DeploymentSpec,
+                 env: Optional[Environment] = None):
+        self.spec = spec
+        self.env = env or Environment()
+        self.streams = RandomStreams(spec.seed)
+        self.metrics = MetricsRegistry(bucket_width=spec.bucket_width)
+        self.network = Network(self.env, self.streams,
+                               default_profile=INTRA_DC)
+        self.network.add_profile("client", "edge", WAN_CLIENT_EDGE)
+        self.network.add_profile("edge", "origin", EDGE_ORIGIN)
+
+        self._ip_serial: dict[str, int] = {}
+        self.edge_hosts: list[Host] = []
+        self.origin_hosts: list[Host] = []
+        self.app_hosts: list[Host] = []
+        self.broker_hosts: list[Host] = []
+        self.client_hosts: dict[str, list[Host]] = {}
+
+        self.edge_servers: list[ProxygenServer] = []
+        self.origin_servers: list[ProxygenServer] = []
+        self.app_servers: list[AppServer] = []
+        self.app_pool = AppServerPool()
+        self.brokers: list[MqttBroker] = []
+        self.broker_ring: ConsistentHashRing[str] = ConsistentHashRing(
+            replicas=60, salt=spec.seed)
+
+        self.edge_katran: Optional[Katran] = None
+        self.origin_katran: Optional[Katran] = None
+        self.web_clients: Optional[WebClientPopulation] = None
+        self.mqtt_clients: Optional[MqttClientPopulation] = None
+        self.quic_clients: Optional[QuicClientPopulation] = None
+
+        self._build()
+
+    # -- host factory ------------------------------------------------------
+
+    def _host(self, name: str, site: str, cores: int,
+              core_speed: float) -> Host:
+        block = {"edge": 1, "origin": 2, "client": 3}.get(site, 4)
+        serial = self._ip_serial.get(site, 0) + 1
+        self._ip_serial[site] = serial
+        return Host(
+            self.env, self.network, name,
+            ip=f"10.{block}.{serial // 250}.{serial % 250}",
+            site=site, metrics=self.metrics,
+            streams=self.streams.fork(name),
+            cores=cores, core_speed=core_speed,
+            cpu_bucket_width=self.spec.bucket_width)
+
+    # -- build --------------------------------------------------------------
+
+    def _build(self) -> None:
+        spec = self.spec
+
+        # Brokers and app servers (Origin DC).
+        for i in range(spec.brokers):
+            host = self._host(f"broker-{i}", "origin",
+                              spec.app_cores, spec.app_core_speed)
+            self.broker_hosts.append(host)
+            broker = MqttBroker(host, spec.broker_config)
+            self.brokers.append(broker)
+            self.broker_ring.add(host.ip)
+        for i in range(spec.app_servers):
+            host = self._host(f"appserver-{i}", "origin",
+                              spec.app_cores, spec.app_core_speed)
+            self.app_hosts.append(host)
+            server = AppServer(host, spec.app_config)
+            self.app_servers.append(server)
+            self.app_pool.add(server)
+
+        # Origin proxies + their Katran.
+        origin_vip = Endpoint(spec.origin_vip_ip, spec.https_port)
+        origin_vips = [VIP("https", origin_vip, Protocol.TCP)]
+        origin_context = ProxyTierContext(
+            app_pool=self.app_pool,
+            broker_ring=self.broker_ring,
+            broker_port=spec.broker_port)
+        for i in range(spec.origin_proxies):
+            host = self._host(f"origin-proxy-{i}", "origin",
+                              spec.proxy_cores, spec.proxy_core_speed)
+            self.origin_hosts.append(host)
+            self.origin_servers.append(ProxygenServer(
+                host, spec.resolved_origin_config(), origin_context,
+                vips=list(origin_vips)))
+        origin_katran_host = self._host("origin-katran", "origin",
+                                        spec.app_cores, spec.app_core_speed)
+        self.origin_katran = Katran(
+            origin_katran_host, self.origin_hosts,
+            config=spec.katran_config, name="origin-katran",
+            hc_vip=origin_vip)
+
+        # Edge proxies + their Katran.
+        edge_https = Endpoint(spec.edge_vip_ip, spec.https_port)
+        edge_vips = [
+            VIP("https", edge_https, Protocol.TCP),
+            VIP("quic", Endpoint(spec.edge_vip_ip, spec.https_port),
+                Protocol.UDP),
+            VIP("mqtt", Endpoint(spec.edge_vip_ip, spec.mqtt_port),
+                Protocol.TCP),
+        ]
+        edge_context = ProxyTierContext(
+            origin_vip=origin_vip,
+            origin_router=lambda flow: self.origin_katran.route(flow))
+        for i in range(spec.edge_proxies):
+            host = self._host(f"edge-proxy-{i}", "edge",
+                              spec.proxy_cores, spec.proxy_core_speed)
+            self.edge_hosts.append(host)
+            self.edge_servers.append(ProxygenServer(
+                host, spec.resolved_edge_config(), edge_context,
+                vips=[VIP(v.name, v.endpoint, v.protocol)
+                      for v in edge_vips]))
+        edge_katran_host = self._host("edge-katran", "edge",
+                                      spec.app_cores, spec.app_core_speed)
+        self.edge_katran = Katran(
+            edge_katran_host, self.edge_hosts,
+            config=spec.katran_config, name="edge-katran",
+            hc_vip=edge_https)
+
+        # Client populations.
+        edge_route = lambda flow: self.edge_katran.route(flow)  # noqa: E731
+        if spec.web_workload is not None:
+            hosts = [self._host(f"web-clients-{i}", "client",
+                                spec.client_cores, spec.client_core_speed)
+                     for i in range(spec.web_client_hosts)]
+            self.client_hosts["web"] = hosts
+            self.web_clients = WebClientPopulation(
+                hosts, edge_https, edge_route, self.metrics,
+                spec.web_workload)
+        if spec.mqtt_workload is not None:
+            hosts = [self._host(f"mqtt-clients-{i}", "client",
+                                spec.client_cores, spec.client_core_speed)
+                     for i in range(spec.mqtt_client_hosts)]
+            self.client_hosts["mqtt"] = hosts
+            self.mqtt_clients = MqttClientPopulation(
+                hosts, Endpoint(spec.edge_vip_ip, spec.mqtt_port),
+                edge_route, self.metrics, spec.mqtt_workload)
+        if spec.quic_workload is not None:
+            hosts = [self._host(f"quic-clients-{i}", "client",
+                                spec.client_cores, spec.client_core_speed)
+                     for i in range(spec.quic_client_hosts)]
+            self.client_hosts["quic"] = hosts
+            self.quic_clients = QuicClientPopulation(
+                hosts, Endpoint(spec.edge_vip_ip, spec.https_port),
+                edge_route, self.metrics, spec.quic_workload)
+
+    # -- start ---------------------------------------------------------------
+
+    def start(self):
+        """Kick off every component; returns the "infrastructure ready"
+        process (clients start once it completes)."""
+        return self.env.process(self._startup())
+
+    def _startup(self):
+        for broker in self.brokers:
+            broker.start()
+        for app in self.app_servers:
+            app.start()
+        boots = [self.env.process(server.start())
+                 for server in self.origin_servers]
+        yield AllOf(self.env, boots)
+        boots = [self.env.process(server.start())
+                 for server in self.edge_servers]
+        yield AllOf(self.env, boots)
+        self.origin_katran.start(
+            self.origin_katran.host.spawn("origin-katran"))
+        self.edge_katran.start(self.edge_katran.host.spawn("edge-katran"))
+        if self.web_clients is not None:
+            self.web_clients.start()
+        if self.mqtt_clients is not None:
+            self.mqtt_clients.start()
+        if self.quic_clients is not None:
+            self.quic_clients.start()
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to time ``until``."""
+        self.env.run(until=until)
+
+    # -- convenience views -------------------------------------------------------
+
+    def total_idle_cpu(self, start: float, end: float,
+                       hosts: Optional[list[Host]] = None) -> list[tuple[float, float]]:
+        """Cluster-wide idle CPU fraction per bucket (the §6.1.2 metric)."""
+        hosts = hosts if hosts is not None else self.edge_hosts
+        series = [host.cpu.idle(start, end) for host in hosts]
+        out = []
+        for samples in zip(*series):
+            time = samples[0][0]
+            out.append((time, sum(v for _, v in samples) / len(samples)))
+        return out

@@ -1,0 +1,208 @@
+"""Multi-PoP topology: several Edge PoPs sharing one Origin DC.
+
+The paper's Figure 1 shows hundreds of Edge PoPs (each with its own
+Katran + Proxygen fleet) funneling into tens of Origin datacenters.
+:class:`GlobalDeployment` builds that shape at laptop scale: N Edge PoPs,
+one Origin DC, per-PoP client populations, and per-PoP ECMP across the
+PoP's L4LBs — enough to run *global* rolling releases (Fig 16) as a real
+simulation rather than an analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..appserver.brokers import MqttBroker
+from ..appserver.hhvm import AppServer
+from ..appserver.pool import AppServerPool
+from ..clients.web import WebClientPopulation, WebWorkloadConfig
+from ..lb.consistent_hash import ConsistentHashRing
+from ..lb.katran import Katran, KatranConfig
+from ..metrics.registry import MetricsRegistry
+from ..netsim.addresses import Endpoint, Protocol, VIP
+from ..netsim.host import Host
+from ..netsim.network import (
+    EDGE_ORIGIN,
+    INTRA_DC,
+    WAN_CLIENT_EDGE,
+    Network,
+)
+from ..proxygen.config import ProxygenConfig
+from ..proxygen.context import ProxyTierContext
+from ..proxygen.server import ProxygenServer
+from ..release.orchestrator import RollingRelease, RollingReleaseConfig
+from ..simkernel.core import Environment
+from ..simkernel.events import AllOf
+from ..simkernel.rng import RandomStreams
+
+__all__ = ["GlobalSpec", "EdgePoP", "GlobalDeployment"]
+
+
+@dataclass
+class GlobalSpec:
+    seed: int = 0
+    pops: int = 3
+    proxies_per_pop: int = 4
+    origin_proxies: int = 3
+    app_servers: int = 4
+    brokers: int = 1
+    clients_per_pop: int = 10
+    edge_config: Optional[ProxygenConfig] = None
+    origin_config: Optional[ProxygenConfig] = None
+    web_workload: Optional[WebWorkloadConfig] = field(
+        default_factory=lambda: WebWorkloadConfig(clients_per_host=10,
+                                                  think_time=1.0))
+
+
+@dataclass
+class EdgePoP:
+    """One point of presence: Katran + a Proxygen fleet + local users."""
+
+    name: str
+    hosts: list[Host]
+    servers: list[ProxygenServer]
+    katran: Katran
+    clients: Optional[WebClientPopulation]
+    vip: Endpoint
+
+
+class GlobalDeployment:
+    """N Edge PoPs → one Origin DC."""
+
+    def __init__(self, spec: GlobalSpec):
+        self.spec = spec
+        self.env = Environment()
+        self.streams = RandomStreams(spec.seed)
+        self.metrics = MetricsRegistry()
+        self.network = Network(self.env, self.streams,
+                               default_profile=INTRA_DC)
+        self.network.add_profile("origin", "origin", INTRA_DC)
+        self.pops: list[EdgePoP] = []
+        self._serial = 0
+        self._build()
+
+    def _host(self, name: str, site: str) -> Host:
+        self._serial += 1
+        return Host(self.env, self.network, name,
+                    ip=f"10.{(self._serial // 250) % 250}."
+                       f"{self._serial % 250}.{(self._serial * 7) % 250}",
+                    site=site, metrics=self.metrics,
+                    streams=self.streams.fork(name))
+
+    def _build(self) -> None:
+        spec = self.spec
+
+        # One Origin DC.
+        self.app_pool = AppServerPool()
+        self.app_servers: list[AppServer] = []
+        for i in range(spec.app_servers):
+            host = self._host(f"dc/app-{i}", "origin")
+            server = AppServer(host)
+            server.start()
+            self.app_pool.add(server)
+            self.app_servers.append(server)
+        self.broker_ring: ConsistentHashRing[str] = ConsistentHashRing(
+            replicas=40, salt=spec.seed)
+        self.brokers: list[MqttBroker] = []
+        for i in range(spec.brokers):
+            host = self._host(f"dc/broker-{i}", "origin")
+            broker = MqttBroker(host)
+            broker.start()
+            self.brokers.append(broker)
+            self.broker_ring.add(host.ip)
+
+        origin_vip = Endpoint("100.64.1.1", 443)
+        origin_context = ProxyTierContext(
+            app_pool=self.app_pool, broker_ring=self.broker_ring,
+            broker_port=1883)
+        self.origin_hosts = [
+            self._host(f"dc/origin-proxy-{i}", "origin")
+            for i in range(spec.origin_proxies)]
+        self.origin_servers = [
+            ProxygenServer(host,
+                           spec.origin_config
+                           or ProxygenConfig(mode="origin",
+                                             drain_duration=8.0,
+                                             spawn_delay=1.0),
+                           origin_context,
+                           vips=[VIP("https", origin_vip, Protocol.TCP)])
+            for host in self.origin_hosts]
+        self.origin_katran = Katran(
+            self._host("dc/katran", "origin"), self.origin_hosts,
+            hc_vip=origin_vip, name="origin-katran")
+
+        # Edge PoPs, each with its own site, VIP, Katran and users.
+        for p in range(spec.pops):
+            site = f"pop{p}"
+            self.network.add_profile("client-" + site, site,
+                                     WAN_CLIENT_EDGE)
+            self.network.add_profile(site, "origin", EDGE_ORIGIN)
+            vip = Endpoint(f"100.64.{10 + p}.1", 443)
+            vips = [VIP("https", vip, Protocol.TCP),
+                    VIP("quic", vip, Protocol.UDP)]
+            context = ProxyTierContext(
+                origin_vip=origin_vip,
+                origin_router=lambda flow: self.origin_katran.route(flow))
+            hosts = [self._host(f"{site}/proxy-{i}", site)
+                     for i in range(spec.proxies_per_pop)]
+            servers = [ProxygenServer(
+                host,
+                spec.edge_config or ProxygenConfig(mode="edge",
+                                                   drain_duration=8.0,
+                                                   spawn_delay=1.0),
+                context, vips=[VIP(v.name, v.endpoint, v.protocol)
+                               for v in vips])
+                for host in hosts]
+            katran = Katran(self._host(f"{site}/katran", site), hosts,
+                            hc_vip=vip, name=f"katran-{site}")
+            clients = None
+            if spec.web_workload is not None:
+                client_host = self._host(f"{site}/clients",
+                                         "client-" + site)
+                clients = WebClientPopulation(
+                    [client_host], vip,
+                    (lambda kt: lambda flow: kt.route(flow))(katran),
+                    self.metrics, spec.web_workload,
+                    name=f"web-clients-{site}")
+            self.pops.append(EdgePoP(site, hosts, servers, katran,
+                                     clients, vip))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self):
+        return self.env.process(self._startup())
+
+    def _startup(self):
+        boots = [self.env.process(s.start()) for s in self.origin_servers]
+        yield AllOf(self.env, boots)
+        self.origin_katran.start(
+            self.origin_katran.host.spawn("origin-katran"))
+        for pop in self.pops:
+            boots = [self.env.process(s.start()) for s in pop.servers]
+            yield AllOf(self.env, boots)
+            pop.katran.start(pop.katran.host.spawn(f"katran-{pop.name}"))
+            if pop.clients is not None:
+                pop.clients.start()
+
+    def run(self, until: float) -> None:
+        self.env.run(until=until)
+
+    # -- global releases --------------------------------------------------------
+
+    def global_release(self, batch_fraction: float = 0.2,
+                       post_batch_wait: float = 0.0):
+        """Release every PoP's proxy fleet concurrently (the paper's
+        global roll-out); returns the per-PoP RollingRelease objects and
+        the completion event."""
+        releases = []
+        tasks = []
+        for pop in self.pops:
+            release = RollingRelease(
+                self.env, pop.servers,
+                RollingReleaseConfig(batch_fraction=batch_fraction,
+                                     post_batch_wait=post_batch_wait),
+                name=f"release-{pop.name}")
+            releases.append(release)
+            tasks.append(self.env.process(release.execute()))
+        return releases, AllOf(self.env, tasks)

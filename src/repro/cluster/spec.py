@@ -1,0 +1,78 @@
+"""Deployment specification: sizes, configs, workloads, link profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..appserver.brokers import BrokerConfig
+from ..appserver.config import AppServerConfig
+from ..clients.mqtt import MqttWorkloadConfig
+from ..clients.quic import QuicWorkloadConfig
+from ..clients.web import WebWorkloadConfig
+from ..lb.katran import KatranConfig
+from ..proxygen.config import ProxygenConfig
+
+__all__ = ["DeploymentSpec"]
+
+
+@dataclass
+class DeploymentSpec:
+    """Everything needed to build one end-to-end deployment (Fig 1).
+
+    Scaled-down defaults: one Edge PoP, one Origin DC, a handful of
+    machines per tier.  The paper's figures are normalized, so shapes
+    survive this down-scaling (DESIGN.md §6).
+    """
+
+    seed: int = 0
+    bucket_width: float = 1.0
+
+    # Tier sizes
+    edge_proxies: int = 6
+    origin_proxies: int = 4
+    app_servers: int = 6
+    brokers: int = 2
+    web_client_hosts: int = 2
+    mqtt_client_hosts: int = 2
+    quic_client_hosts: int = 1
+
+    # Addressing
+    edge_vip_ip: str = "100.64.0.1"
+    origin_vip_ip: str = "100.64.1.1"
+    https_port: int = 443
+    mqtt_port: int = 8883
+    broker_port: int = 1883
+
+    # Machine shapes (cores × units/s per core)
+    proxy_cores: int = 4
+    proxy_core_speed: float = 20.0
+    app_cores: int = 4
+    app_core_speed: float = 25.0
+    client_cores: int = 64
+    client_core_speed: float = 1000.0
+
+    # Component configs (None → defaults)
+    edge_config: Optional[ProxygenConfig] = None
+    origin_config: Optional[ProxygenConfig] = None
+    app_config: Optional[AppServerConfig] = None
+    broker_config: Optional[BrokerConfig] = None
+    katran_config: Optional[KatranConfig] = None
+
+    # Workloads (None → population not started)
+    web_workload: Optional[WebWorkloadConfig] = field(
+        default_factory=WebWorkloadConfig)
+    mqtt_workload: Optional[MqttWorkloadConfig] = field(
+        default_factory=MqttWorkloadConfig)
+    quic_workload: Optional[QuicWorkloadConfig] = field(
+        default_factory=QuicWorkloadConfig)
+
+    def resolved_edge_config(self) -> ProxygenConfig:
+        if self.edge_config is not None:
+            return self.edge_config
+        return ProxygenConfig(mode="edge")
+
+    def resolved_origin_config(self) -> ProxygenConfig:
+        if self.origin_config is not None:
+            return self.origin_config
+        return ProxygenConfig(mode="origin")

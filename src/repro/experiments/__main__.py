@@ -1,0 +1,63 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig09 [--seed 3]
+    python -m repro.experiments all [--seed 3]
+
+Runs the named figure harness(es) and prints the rows the paper's figure
+plots, plus the PASS/FAIL state of every shape claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..metrics.report import render_series
+from . import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate figures of the Zero Downtime Release paper")
+    parser.add_argument("figure",
+                        help="figure id (e.g. fig09), 'all', or 'list'")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-plots", action="store_true",
+                        help="skip the sparkline rendering of series")
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        for key, module in sorted(ALL_EXPERIMENTS.items()):
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:8s} {doc}")
+        return 0
+
+    if args.figure == "all":
+        names = sorted(ALL_EXPERIMENTS)
+    elif args.figure in ALL_EXPERIMENTS:
+        names = [args.figure]
+    else:
+        print(f"unknown figure {args.figure!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+
+    all_ok = True
+    for name in names:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name].run(seed=args.seed)
+        result.print()
+        if not args.no_plots:
+            for series_name, series in sorted(result.series.items()):
+                print("   " + render_series(series_name, series, width=56))
+        print(f"   ({time.time() - start:.1f}s wall)")
+        all_ok = all_ok and result.all_claims_hold
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

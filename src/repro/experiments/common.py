@@ -1,0 +1,105 @@
+"""Shared plumbing for the per-figure experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..appserver.config import AppServerConfig
+from ..clients.mqtt import MqttWorkloadConfig
+from ..clients.quic import QuicWorkloadConfig
+from ..clients.web import WebWorkloadConfig
+from ..cluster.deployment import Deployment
+from ..cluster.spec import DeploymentSpec
+from ..proxygen.config import ProxygenConfig
+
+__all__ = ["ExperimentResult", "build_deployment", "sum_counter",
+           "aggregate_series", "mean"]
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment harness returns.
+
+    ``series`` holds named (time, value) curves (the figure's lines);
+    ``scalars`` holds the headline numbers; ``claims`` records the
+    paper-shape checks the benchmark asserts.
+    """
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    scalars: dict[str, float] = field(default_factory=dict)
+    claims: dict[str, bool] = field(default_factory=dict)
+
+    def rows(self) -> list[str]:
+        """Human-readable result rows (what the bench prints)."""
+        out = [f"== {self.name} =="]
+        for key, value in sorted(self.params.items()):
+            out.append(f"   param {key} = {value}")
+        for key, value in sorted(self.scalars.items()):
+            out.append(f"   {key} = {value:.6g}")
+        for key, ok in sorted(self.claims.items()):
+            out.append(f"   claim[{key}] = {'PASS' if ok else 'FAIL'}")
+        return out
+
+    def print(self) -> None:
+        for row in self.rows():
+            print(row)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values())
+
+
+def build_deployment(seed: int = 0,
+                     edge_proxies: int = 4,
+                     origin_proxies: int = 2,
+                     app_servers: int = 3,
+                     brokers: int = 1,
+                     edge_config: Optional[ProxygenConfig] = None,
+                     origin_config: Optional[ProxygenConfig] = None,
+                     app_config: Optional[AppServerConfig] = None,
+                     web: Optional[WebWorkloadConfig] = None,
+                     mqtt: Optional[MqttWorkloadConfig] = None,
+                     quic: Optional[QuicWorkloadConfig] = None,
+                     **spec_kwargs) -> Deployment:
+    """A deployment sized for experiment runtime (seconds, not minutes)."""
+    spec = DeploymentSpec(
+        seed=seed,
+        edge_proxies=edge_proxies,
+        origin_proxies=origin_proxies,
+        app_servers=app_servers,
+        brokers=brokers,
+        web_client_hosts=1 if web is not None else 0,
+        mqtt_client_hosts=1 if mqtt is not None else 0,
+        quic_client_hosts=1 if quic is not None else 0,
+        edge_config=edge_config,
+        origin_config=origin_config,
+        app_config=app_config,
+        web_workload=web,
+        mqtt_workload=mqtt,
+        quic_workload=quic,
+        **spec_kwargs)
+    deployment = Deployment(spec)
+    deployment.start()
+    return deployment
+
+
+def sum_counter(servers, name: str, tag: Optional[str] = None) -> float:
+    """Sum one counter over a list of components exposing ``counters``."""
+    return sum(s.counters.get(name, tag=tag) for s in servers)
+
+
+def aggregate_series(metrics, name: str, start: float, end: float,
+                     default: float = 0.0) -> list[tuple[float, float]]:
+    if not metrics.has_series(name):
+        width = metrics.bucket_width
+        buckets = int((end - start) / width) + 1
+        return [(start + i * width, default) for i in range(buckets)]
+    return metrics.series(name).series(start, end, default=default)
+
+
+def mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,15 @@
+"""L4 load balancing: consistent hashing, Katran, ECMP, LRU flow cache."""
+
+from .consistent_hash import ConsistentHashRing
+from .ecmp import EcmpRouter
+from .katran import BackendState, Katran, KatranConfig
+from .lru import LruConnectionTable
+
+__all__ = [
+    "ConsistentHashRing",
+    "EcmpRouter",
+    "BackendState",
+    "Katran",
+    "KatranConfig",
+    "LruConnectionTable",
+]

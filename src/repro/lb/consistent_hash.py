@@ -1,0 +1,96 @@
+"""Consistent hashing ring (used by Katran and by broker selection).
+
+Two places in the paper need consistent hashing:
+
+* Katran picks an L7LB for each flow by consistent-hashing the packet
+  header (§2.1), so routing survives small membership changes;
+* MQTT user-id → broker mapping (§4.2), so *any* Origin proxy can find
+  the broker holding a user's session context.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Generic, Hashable, Optional, Sequence, TypeVar
+
+from ..netsim.addresses import stable_hash
+
+__all__ = ["ConsistentHashRing"]
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+class ConsistentHashRing(Generic[Node]):
+    """A classic ring-hash with virtual nodes.
+
+    ``replicas`` virtual points per node keep the load spread even;
+    lookups walk clockwise to the first point at or after the key hash.
+    """
+
+    def __init__(self, replicas: int = 100, salt: int = 0):
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self.salt = salt
+        self._points: list[int] = []
+        self._point_node: dict[int, Node] = {}
+        self._nodes: set[Node] = set()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> set[Node]:
+        return set(self._nodes)
+
+    def add(self, node: Node) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = stable_hash("chash", self.salt, node, replica)
+            # On the (rare) collision the earlier node keeps the point.
+            if point not in self._point_node:
+                self._point_node[point] = node
+                bisect.insort(self._points, point)
+
+    def remove(self, node: Node) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        for replica in range(self.replicas):
+            point = stable_hash("chash", self.salt, node, replica)
+            if self._point_node.get(point) == node:
+                del self._point_node[point]
+                index = bisect.bisect_left(self._points, point)
+                if index < len(self._points) and self._points[index] == point:
+                    self._points.pop(index)
+
+    def lookup(self, *key_parts) -> Optional[Node]:
+        """The node owning ``key`` (None when the ring is empty)."""
+        if not self._points:
+            return None
+        key = stable_hash("chash-key", self.salt, *key_parts)
+        index = bisect.bisect_right(self._points, key)
+        if index == len(self._points):
+            index = 0
+        return self._point_node[self._points[index]]
+
+    def lookup_chain(self, *key_parts, count: int = 2) -> list[Node]:
+        """The first ``count`` *distinct* nodes clockwise from the key —
+        used for fallback picks (e.g. retry a different backend)."""
+        if not self._points:
+            return []
+        key = stable_hash("chash-key", self.salt, *key_parts)
+        start = bisect.bisect_right(self._points, key)
+        seen: list[Node] = []
+        for step in range(len(self._points)):
+            node = self._point_node[self._points[(start + step) % len(self._points)]]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) >= count:
+                    break
+        return seen

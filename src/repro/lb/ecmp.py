@@ -1,0 +1,36 @@
+"""ECMP spraying from the routers onto the L4LB layer (§2.1).
+
+"Routers use ECMP to evenly distribute packets across the L4LB layer,
+which in turn uses consistent hashing to load-balance across the fleet
+of L7LBs."  We model the router hop as a stateless per-flow hash pick
+among the live Katran instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..netsim.addresses import FourTuple, stable_hash
+from .katran import Katran
+
+__all__ = ["EcmpRouter"]
+
+
+class EcmpRouter:
+    """A router distributing flows over equal-cost L4LB next-hops."""
+
+    def __init__(self, l4lbs: list[Katran], salt: int = 0):
+        if not l4lbs:
+            raise ValueError("need at least one L4LB")
+        self.l4lbs = list(l4lbs)
+        self.salt = salt
+
+    def pick_l4lb(self, flow: FourTuple) -> Katran:
+        """The L4LB instance this flow's packets hash to."""
+        index = stable_hash("ecmp", self.salt, flow.src, flow.dst,
+                            flow.protocol.value) % len(self.l4lbs)
+        return self.l4lbs[index]
+
+    def route(self, flow: FourTuple) -> Optional[str]:
+        """End-to-end L4 decision: ECMP hop, then Katran's choice."""
+        return self.pick_l4lb(flow).route(flow)

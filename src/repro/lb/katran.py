@@ -1,0 +1,181 @@
+"""Katran: the L4 load balancer (consistent hashing + health checks + LRU).
+
+Katran (§2.1) bridges the routers and the L7LB fleet: routers ECMP
+packets across Katran instances, and Katran consistent-hashes each flow
+onto an L7LB.  It continuously health-checks every L7LB; a backend that
+fails consecutive probes leaves the ring ("the restarted instances are
+removed from Katran table", §6.1.2).  Zero Downtime Restart keeps the
+listener answering throughout, so Katran never notices a release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..netsim.addresses import Endpoint, FourTuple
+from ..netsim.errors import ConnectionRefusedSim
+from ..netsim.host import Host
+from ..netsim.proc_utils import TIMED_OUT, with_timeout
+from ..netsim.process import SimProcess
+from .consistent_hash import ConsistentHashRing
+from .lru import LruConnectionTable
+
+__all__ = ["Katran", "KatranConfig", "BackendState"]
+
+
+@dataclass
+class KatranConfig:
+    """Tunables for health checking and flow caching."""
+
+    hc_interval: float = 1.0
+    hc_timeout: float = 0.5
+    #: Consecutive probe failures before a backend leaves the ring.
+    down_threshold: int = 2
+    #: Consecutive probe successes before it re-joins.
+    up_threshold: int = 1
+    use_lru: bool = True
+    lru_capacity: int = 100_000
+    hash_replicas: int = 50
+
+
+class BackendState:
+    """Katran's view of one L7LB backend.
+
+    ``hc_endpoint`` is the address health probes target — the service
+    VIP when the pool serves a shared VIP (probes are *delivered* to the
+    backend host), or the backend's own ip:port otherwise.
+    """
+
+    def __init__(self, host: Host, hc_endpoint: Endpoint):
+        self.host = host
+        self.hc_endpoint = hc_endpoint
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+
+    def __repr__(self) -> str:
+        state = "up" if self.healthy else "down"
+        return f"<Backend {self.host.name} {state}>"
+
+
+class Katran:
+    """One L4LB instance routing flows to a pool of L7LB backends."""
+
+    def __init__(self, host: Host, backends: list[Host], hc_port: int = 443,
+                 config: Optional[KatranConfig] = None, name: str = "katran",
+                 hc_vip: Optional[Endpoint] = None):
+        self.host = host
+        self.name = name
+        self.config = config or KatranConfig()
+        #: When the pool serves one shared VIP, probe that VIP (delivered
+        #: to each backend host); otherwise probe host:hc_port directly.
+        self.hc_vip = hc_vip
+        self.hc_port = hc_port
+        self.ring: ConsistentHashRing[str] = ConsistentHashRing(
+            replicas=self.config.hash_replicas,
+            salt=host.reuseport_salt)
+        self.backends: dict[str, BackendState] = {}
+        self.lru: LruConnectionTable[tuple, str] = LruConnectionTable(
+            self.config.lru_capacity)
+        self.counters = host.metrics.scoped_counters(f"{name}@{host.name}")
+        self._process: Optional[SimProcess] = None
+        for backend in backends:
+            self.add_backend(backend)
+
+    # -- membership ------------------------------------------------------------
+
+    def add_backend(self, backend_host: Host) -> None:
+        hc_endpoint = self.hc_vip or Endpoint(backend_host.ip, self.hc_port)
+        state = BackendState(backend_host, hc_endpoint)
+        self.backends[backend_host.ip] = state
+        self.ring.add(backend_host.ip)
+
+    def healthy_backends(self) -> list[str]:
+        return [ip for ip, b in self.backends.items() if b.healthy]
+
+    def _mark(self, state: BackendState, healthy: bool) -> None:
+        if healthy:
+            state.consecutive_successes += 1
+            state.consecutive_failures = 0
+            if (not state.healthy
+                    and state.consecutive_successes >= self.config.up_threshold):
+                state.healthy = True
+                self.ring.add(state.host.ip)
+                self.counters.inc("backend_up")
+        else:
+            state.consecutive_failures += 1
+            state.consecutive_successes = 0
+            if (state.healthy
+                    and state.consecutive_failures >= self.config.down_threshold):
+                state.healthy = False
+                self.ring.remove(state.host.ip)
+                self.counters.inc("backend_down")
+
+    # -- routing -----------------------------------------------------------------
+
+    def route(self, flow: FourTuple) -> Optional[str]:
+        """The backend host IP for this flow (None when pool is empty).
+
+        With the LRU enabled, a flow that was recently routed sticks to
+        its backend as long as that backend is healthy — absorbing ring
+        shuffles caused by health-check flaps (§5.1).
+        """
+        key = (flow.protocol.value, flow.src, flow.dst)
+        if self.config.use_lru:
+            cached = self.lru.get(key)
+            if cached is not None and cached in self.backends:
+                # Pin the flow to its backend even through momentary
+                # health flaps — the whole point of the table (§5.1).
+                # If the backend is truly gone, the flow's packets fail
+                # at the backend, exactly as in production.
+                self.counters.inc("route_lru_hit")
+                return cached
+        choice = self.ring.lookup(*key)
+        if choice is None:
+            self.counters.inc("route_no_backend")
+            return None
+        if self.config.use_lru:
+            self.lru.put(key, choice)
+        self.counters.inc("route_hash")
+        return choice
+
+    # -- health checking -------------------------------------------------------------
+
+    def start(self, process: SimProcess) -> None:
+        """Run one health-check loop per backend inside ``process``."""
+        self._process = process
+        for state in self.backends.values():
+            process.run(self._health_check_loop(process, state))
+
+    def _health_check_loop(self, process: SimProcess, state: BackendState):
+        config = self.config
+        kernel = self.host.kernel
+        # De-synchronize probe phases across backends.
+        yield self.host.env.timeout(
+            self.host.streams.stream("hc-phase").uniform(0, config.hc_interval))
+        while process.alive:
+            healthy = yield from self._probe(process, state)
+            self._mark(state, healthy)
+            self.counters.inc("hc_probe", tag="ok" if healthy else "fail")
+            yield self.host.env.timeout(config.hc_interval)
+
+    def _probe(self, process: SimProcess, state: BackendState):
+        """One TCP health probe: connect within the timeout, then close."""
+        try:
+            attempt = self.host.kernel.tcp_connect(
+                process, state.hc_endpoint, via_ip=state.host.ip)
+            outcome = yield from with_timeout(
+                self.host.env, attempt, self.config.hc_timeout)
+        except ConnectionRefusedSim:
+            return False
+        if outcome is TIMED_OUT or outcome is None:
+            # If the handshake completes after we gave up, close the
+            # stray connection instead of leaking it at the backend.
+            if not attempt.triggered and attempt.callbacks is not None:
+                attempt.callbacks.append(
+                    lambda ev: ev._value.close() if ev._ok else None)
+            return False
+        conn = outcome
+        conn.close()
+        return True

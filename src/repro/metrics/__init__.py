@@ -1,0 +1,29 @@
+"""Metrics and monitoring substrate.
+
+The paper (§6, "Evaluation Metrics") describes a real-time auditing
+infrastructure: every instance emits status signals, system benchmarks
+(CPU, throughput, RPS) and connection counters (MQTT connections, HTTP
+status codes sent, TCP RSTs...).  This package is that infrastructure for
+the simulation: tagged counters, bucketed time series, utilization
+trackers and quantile summaries that the experiment harnesses query.
+"""
+
+from .counters import Counter, CounterSet
+from .quantiles import Quantiles, summarize
+from .registry import MetricsRegistry
+from .report import render_comparison, render_series, sparkline
+from .timeline import IntervalAccumulator, TimeSeries, UtilizationTracker
+
+__all__ = [
+    "Counter",
+    "CounterSet",
+    "MetricsRegistry",
+    "TimeSeries",
+    "IntervalAccumulator",
+    "UtilizationTracker",
+    "Quantiles",
+    "summarize",
+    "sparkline",
+    "render_series",
+    "render_comparison",
+]

@@ -1,0 +1,81 @@
+"""Tagged monotonic counters."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+__all__ = ["Counter", "CounterSet"]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter; negative increments are rejected."""
+        if amount < 0:
+            raise ValueError(f"Counter {self.name} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class CounterSet:
+    """A family of counters keyed by name (optionally with tag suffixes).
+
+    Used for the paper's per-instance connection counters, e.g.::
+
+        counters.inc("http_status", tag="500")
+        counters.inc("tcp_rst")
+        counters.get("http_status", tag="500")
+    """
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix
+        self._counters: dict[str, Counter] = {}
+
+    def _key(self, name: str, tag: Optional[str]) -> str:
+        key = f"{self.prefix}{name}"
+        if tag is not None:
+            key = f"{key}:{tag}"
+        return key
+
+    def counter(self, name: str, tag: Optional[str] = None) -> Counter:
+        """Return (creating if needed) the counter for ``name``/``tag``."""
+        key = self._key(name, tag)
+        if key not in self._counters:
+            self._counters[key] = Counter(key)
+        return self._counters[key]
+
+    def inc(self, name: str, amount: float = 1.0, tag: Optional[str] = None) -> None:
+        self.counter(name, tag).inc(amount)
+
+    def get(self, name: str, tag: Optional[str] = None) -> float:
+        """Current value, zero if never incremented."""
+        return self._counters.get(self._key(name, tag), Counter("")).value
+
+    def with_tag_prefix(self, name: str) -> dict[str, float]:
+        """All counters whose key starts with ``name:`` keyed by tag."""
+        wanted = f"{self.prefix}{name}:"
+        return {
+            key[len(wanted):]: counter.value
+            for key, counter in self._counters.items()
+            if key.startswith(wanted)
+        }
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy of every counter value."""
+        return {key: counter.value for key, counter in self._counters.items()}
+
+    def merged(self, others: list["CounterSet"]) -> dict[str, float]:
+        """Sum this counter set with ``others`` into one dict."""
+        total: dict[str, float] = defaultdict(float)
+        for counters in [self, *others]:
+            for key, value in counters.snapshot().items():
+                total[key] += value
+        return dict(total)

@@ -1,0 +1,85 @@
+"""A per-simulation registry binding counters and series to components."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .counters import CounterSet
+from .quantiles import Quantiles
+from .timeline import TimeSeries, UtilizationTracker
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Central sink for everything a simulation run measures.
+
+    Components ask for scoped counter sets (one per instance) and shared
+    time series; experiment harnesses read them back after the run.  This
+    mirrors the paper's monitoring system that aggregates per-instance
+    signals cluster-wide.
+    """
+
+    def __init__(self, bucket_width: float = 1.0):
+        self.bucket_width = bucket_width
+        self.global_counters = CounterSet()
+        self._scoped: dict[str, CounterSet] = {}
+        self._series: dict[str, TimeSeries] = {}
+        self._quantiles: dict[str, Quantiles] = {}
+        self._utilization: dict[str, UtilizationTracker] = {}
+
+    # -- counters -----------------------------------------------------------
+
+    def scoped_counters(self, scope: str) -> CounterSet:
+        """Counter set for one component instance (e.g. ``edge-proxy-3``)."""
+        if scope not in self._scoped:
+            self._scoped[scope] = CounterSet()
+        return self._scoped[scope]
+
+    def scopes(self, prefix: str = "") -> list[str]:
+        return sorted(s for s in self._scoped if s.startswith(prefix))
+
+    def aggregate(self, name: str, scope_prefix: str = "",
+                  tag: Optional[str] = None) -> float:
+        """Sum a counter across every scope matching ``scope_prefix``."""
+        return sum(
+            counters.get(name, tag=tag)
+            for scope, counters in self._scoped.items()
+            if scope.startswith(scope_prefix)
+        )
+
+    # -- series ---------------------------------------------------------------
+
+    def series(self, name: str, mode: str = "sum",
+               bucket_width: Optional[float] = None) -> TimeSeries:
+        """Named time series (created on first use)."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(
+                bucket_width or self.bucket_width, mode=mode)
+        return self._series[name]
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series
+
+    def series_names(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self._series if n.startswith(prefix))
+
+    # -- quantiles --------------------------------------------------------------
+
+    def quantiles(self, name: str) -> Quantiles:
+        if name not in self._quantiles:
+            self._quantiles[name] = Quantiles()
+        return self._quantiles[name]
+
+    # -- utilization ---------------------------------------------------------
+
+    def utilization(self, scope: str, capacity: float = 1.0,
+                    bucket_width: Optional[float] = None) -> UtilizationTracker:
+        """Per-host CPU utilization tracker."""
+        if scope not in self._utilization:
+            self._utilization[scope] = UtilizationTracker(
+                bucket_width or self.bucket_width, capacity=capacity)
+        return self._utilization[scope]
+
+    def utilization_scopes(self, prefix: str = "") -> list[str]:
+        return sorted(s for s in self._utilization if s.startswith(prefix))

@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment series (sparklines and tables).
+
+The paper's figures are timelines; when running headless we render them
+as unicode sparklines so `python -m repro.experiments fig13` and the
+examples can *show* the shapes, not just print scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["sparkline", "render_series", "render_comparison"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One line of block characters scaled to [lo, hi]."""
+    values = list(values)
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi <= lo:
+        return _TICKS[0] * len(values)
+    span = hi - lo
+    out = []
+    for value in values:
+        clamped = min(max(value, lo), hi)
+        index = int((clamped - lo) / span * (len(_TICKS) - 1))
+        out.append(_TICKS[index])
+    return "".join(out)
+
+
+def _resample(series: Sequence[tuple[float, float]],
+              width: int) -> list[float]:
+    """Downsample (time, value) pairs to ``width`` points by averaging."""
+    values = [v for _, v in series]
+    if len(values) <= width:
+        return values
+    out = []
+    step = len(values) / width
+    for i in range(width):
+        chunk = values[int(i * step):max(int((i + 1) * step),
+                                         int(i * step) + 1)]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def render_series(name: str, series: Sequence[tuple[float, float]],
+                  width: int = 60, lo: Optional[float] = None,
+                  hi: Optional[float] = None) -> str:
+    """``name  ▁▂▅▇▇█...  [min .. max]`` for one series."""
+    if not series:
+        return f"{name:24s} (no data)"
+    values = _resample(series, width)
+    spark = sparkline(values, lo=lo, hi=hi)
+    return (f"{name:24s} {spark}  "
+            f"[{min(v for _, v in series):.3g} .. "
+            f"{max(v for _, v in series):.3g}]")
+
+
+def render_comparison(series_map: dict[str, Sequence[tuple[float, float]]],
+                      width: int = 60, shared_scale: bool = True) -> str:
+    """Multiple series, optionally on one shared vertical scale."""
+    lines = []
+    lo = hi = None
+    if shared_scale:
+        all_values = [v for series in series_map.values()
+                      for _, v in series]
+        if all_values:
+            lo, hi = min(all_values), max(all_values)
+    for name, series in series_map.items():
+        lines.append(render_series(name, series, width=width,
+                                   lo=lo, hi=hi))
+    return "\n".join(lines)

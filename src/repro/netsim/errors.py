@@ -1,0 +1,36 @@
+"""Exception types raised by the simulated network stack."""
+
+from __future__ import annotations
+
+__all__ = [
+    "NetSimError",
+    "BindError",
+    "ConnectionRefusedSim",
+    "ConnectionResetSim",
+    "SocketClosedSim",
+    "ProcessDeadError",
+]
+
+
+class NetSimError(Exception):
+    """Base class for simulated networking errors."""
+
+
+class BindError(NetSimError):
+    """Address already in use (without SO_REUSEPORT) or invalid bind."""
+
+
+class ConnectionRefusedSim(NetSimError):
+    """No listener at the destination endpoint (RST to SYN)."""
+
+
+class ConnectionResetSim(NetSimError):
+    """The peer aborted the connection (TCP RST)."""
+
+
+class SocketClosedSim(NetSimError):
+    """Operation on a socket that was already closed locally."""
+
+
+class ProcessDeadError(NetSimError):
+    """Operation attempted by an exited process."""

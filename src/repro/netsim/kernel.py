@@ -1,0 +1,217 @@
+"""The per-host simulated kernel: binding, demux, handshakes, RSTs."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..simkernel.events import Event
+from .addresses import Endpoint, FourTuple, Protocol
+from .errors import BindError, ConnectionRefusedSim
+from .packet import Datagram, StreamControl, StreamMessage
+from .filetable import FileDescription
+from .reuseport import ReusePortGroup
+from .sockets import TcpConnection, TcpEndpoint, TcpListenSocket, UdpSocket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .host import Host
+    from .process import SimProcess
+
+__all__ = ["Kernel", "SYN_SIZE", "CONTROL_SIZE"]
+
+#: Nominal wire sizes for control traffic (bytes).
+SYN_SIZE = 64
+CONTROL_SIZE = 40
+
+#: First ephemeral source port handed out by each host.
+EPHEMERAL_BASE = 40_000
+
+
+class Kernel:
+    """Networking state of one simulated host."""
+
+    def __init__(self, host: "Host"):
+        self.host = host
+        self.env = host.env
+        self.tcp_listeners: dict[Endpoint, TcpListenSocket] = {}
+        self.udp_groups: dict[Endpoint, ReusePortGroup] = {}
+        self._next_port = EPHEMERAL_BASE
+
+    # -- helpers -----------------------------------------------------------
+
+    def ephemeral_port(self) -> int:
+        self._next_port += 1
+        return self._next_port
+
+    def count_rst_sent(self, reason: str) -> None:
+        self.host.counters.inc("tcp_rst_sent", tag=reason)
+
+    # -- TCP: binding --------------------------------------------------------
+
+    def tcp_listen(self, process: "SimProcess", endpoint: Endpoint,
+                   backlog: int = 1024) -> tuple[int, TcpListenSocket]:
+        """Create a listening socket bound to ``endpoint``.
+
+        Returns ``(fd, socket)``; the FD lives in ``process``'s file
+        table.  TCP has no rebind-while-bound here: takeover must share
+        the existing FD (which is the point of the mechanism).
+        """
+        existing = self.tcp_listeners.get(endpoint)
+        if existing is not None and not existing.closed:
+            raise BindError(f"tcp address in use: {endpoint}")
+        listener = TcpListenSocket(self, endpoint, backlog=backlog)
+        self.tcp_listeners[endpoint] = listener
+        description = FileDescription(listener)
+        fd = process.fd_table.install(description)
+        return fd, listener
+
+    def unbind_tcp(self, listener: TcpListenSocket) -> None:
+        if self.tcp_listeners.get(listener.endpoint) is listener:
+            del self.tcp_listeners[listener.endpoint]
+
+    # -- TCP: connect/handshake -------------------------------------------------
+
+    def tcp_connect(self, process: "SimProcess", dst: Endpoint,
+                    via_ip: Optional[str] = None) -> Event:
+        """Open a connection to ``dst``.
+
+        ``via_ip``: the physical host to deliver the SYN to when ``dst``
+        is a VIP (the L4LB's routing decision).  The returned event
+        succeeds with the client :class:`TcpEndpoint` or fails with
+        :class:`ConnectionRefusedSim`.
+        """
+        via = via_ip or dst.ip
+        result = self.env.event()
+        src = Endpoint(self.host.ip, self.ephemeral_port())
+        flow = FourTuple(Protocol.TCP, src, dst)
+        client_end = TcpEndpoint(self, src, dst, via)
+        client_end.set_owner(process)
+        self.host.counters.inc("tcp_syn_sent")
+
+        network = self.host.network
+        src_host = self.host
+
+        if network.host(via) is None:
+            # No such host: behave like an ICMP unreachable after one RTT.
+            timeout = self.env.timeout(0.001)
+            timeout.callbacks.append(lambda _ev: _fail_refused(result))
+            return result
+
+        def syn_arrives() -> None:
+            dst_host = network.host(via)
+            if dst_host is None:
+                _fail_refused(result)
+                return
+            dst_host.kernel._handle_syn(flow, client_end, src_host, result)
+
+        network.transmit(src_host, via, syn_arrives, size=SYN_SIZE)
+        return result
+
+    def _handle_syn(self, flow: FourTuple, client_end: TcpEndpoint,
+                    src_host: "Host", result: Event) -> None:
+        """Server-side SYN processing: accept-queue or RST."""
+        listener = self.tcp_listeners.get(flow.dst)
+        network = self.host.network
+
+        def reply(action) -> None:
+            network.transmit(self.host, src_host.ip, action, size=SYN_SIZE)
+
+        if (listener is None or listener.closed or not listener.accepting
+                or listener.pending >= listener.backlog):
+            reason = "syn_refused" if listener is None or listener.closed \
+                else "syn_while_draining" if not listener.accepting \
+                else "accept_queue_full"
+            self.count_rst_sent(reason)
+            reply(lambda: _fail_refused(result))
+            return
+
+        server_end = TcpEndpoint(self, flow.dst, flow.src, src_host.ip)
+        TcpConnection(flow, client_end, server_end)
+        listener.accept_queue.put(server_end)
+        self.host.counters.inc("tcp_accepted")
+        # Tagged by source so experiments can separate e.g. L4 health
+        # probes from real connection-establishment storms.
+        self.host.counters.inc("tcp_accepted_from", tag=src_host.name)
+        reply(lambda: result.succeed(client_end))
+
+    # -- TCP: data plane ---------------------------------------------------------
+
+    def transmit_stream(self, endpoint: TcpEndpoint, item, control: bool = False) -> None:
+        """Deliver ``item`` to the endpoint's peer after link latency.
+
+        Delivery is kept in order per connection direction (TCP
+        semantics): a small control message sent after a large payload
+        must not overtake it.
+        """
+        peer = endpoint.peer
+        if peer is None:
+            return
+        size = item.size if isinstance(item, StreamMessage) else CONTROL_SIZE
+        arrival = self.host.network.transmit(
+            self.host, endpoint.remote_host_ip,
+            lambda: peer.deliver(item), size=size,
+            not_before=endpoint.next_in_order_arrival)
+        endpoint.next_in_order_arrival = arrival + 1e-9
+
+    # -- UDP -----------------------------------------------------------------------
+
+    def udp_bind(self, process: "SimProcess", endpoint: Endpoint,
+                 reuseport: bool = False) -> tuple[int, UdpSocket]:
+        """Bind a UDP socket; SO_REUSEPORT joins the endpoint's ring."""
+        group = self.udp_groups.get(endpoint)
+        if group is not None and len(group) > 0:
+            if not reuseport or any(not s.reuseport for s in group.sockets):
+                raise BindError(f"udp address in use: {endpoint}")
+        if group is None:
+            group = ReusePortGroup(salt=self.host.reuseport_salt)
+            self.udp_groups[endpoint] = group
+        sock = UdpSocket(self, endpoint, reuseport=reuseport)
+        group.add(sock)
+        description = FileDescription(sock)
+        fd = process.fd_table.install(description)
+        return fd, sock
+
+    def udp_bind_ephemeral(self, process: "SimProcess") -> tuple[int, UdpSocket]:
+        """Client-style bind on a fresh ephemeral port."""
+        endpoint = Endpoint(self.host.ip, self.ephemeral_port())
+        return self.udp_bind(process, endpoint, reuseport=False)
+
+    def unbind_udp(self, sock: UdpSocket) -> None:
+        group = self.udp_groups.get(sock.endpoint)
+        if group is not None:
+            group.remove(sock)
+            if len(group) == 0:
+                del self.udp_groups[sock.endpoint]
+
+    def reuseport_ring(self, endpoint: Endpoint) -> Optional[ReusePortGroup]:
+        """Expose the ring for observation (tests, experiments)."""
+        return self.udp_groups.get(endpoint)
+
+    def transmit_datagram(self, datagram: Datagram, via_ip: str) -> None:
+        network = self.host.network
+        self.host.counters.inc("udp_sent")
+
+        def arrives() -> None:
+            dst_host = network.host(via_ip)
+            if dst_host is None:
+                return
+            dst_host.kernel._handle_datagram(datagram)
+
+        network.transmit(self.host, via_ip, arrives, size=datagram.size)
+
+    def _handle_datagram(self, datagram: Datagram) -> None:
+        group = self.udp_groups.get(datagram.flow.dst)
+        if group is None or len(group) == 0:
+            self.host.counters.inc("udp_dropped_no_listener")
+            return
+        sock = group.pick(datagram.flow)
+        if sock is None or sock.closed:
+            self.host.counters.inc("udp_dropped_closed_socket")
+            return
+        self.host.counters.inc("udp_delivered")
+        sock.inbox.put(datagram)
+
+
+def _fail_refused(result: Event) -> None:
+    exc = ConnectionRefusedSim("connection refused")
+    result.fail(exc)
+    result.defused()

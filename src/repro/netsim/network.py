@@ -1,0 +1,125 @@
+"""Links and message delivery between hosts.
+
+The network charges each transmission a delay drawn from the
+:class:`LinkProfile` between the two hosts' *sites* — client ↔ Edge PoP
+over the WAN, Edge ↔ Origin over the backbone, intra-datacenter, or
+loopback.  Optional bandwidth terms charge serialization delay for big
+transfers (POST bodies), and optional loss supports failure injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..simkernel.core import Environment
+from ..simkernel.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .host import Host
+
+__all__ = ["LinkProfile", "Network", "WAN_CLIENT_EDGE", "EDGE_ORIGIN",
+           "INTRA_DC", "LOOPBACK"]
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Latency/bandwidth/loss of one site-to-site link class.
+
+    ``latency`` is one-way propagation (seconds); ``jitter`` adds a
+    uniform [0, jitter) term per message; ``bandwidth`` (bytes/s) adds
+    ``size / bandwidth``; ``loss`` drops messages with that probability.
+    """
+
+    latency: float
+    jitter: float = 0.0
+    bandwidth: Optional[float] = None
+    loss: float = 0.0
+
+    def delay(self, size: int, rng) -> float:
+        total = self.latency
+        if self.jitter > 0:
+            total += rng.uniform(0.0, self.jitter)
+        if self.bandwidth:
+            total += size / self.bandwidth
+        return total
+
+
+# Default link classes, loosely calibrated to the paper's setting: users
+# reach an Edge PoP over last-mile WAN (tens of ms), Edge PoPs reach the
+# Origin datacenter over the backbone, and datacenter fabric is fast.
+WAN_CLIENT_EDGE = LinkProfile(latency=0.040, jitter=0.020, bandwidth=2.5e6)
+EDGE_ORIGIN = LinkProfile(latency=0.030, jitter=0.005, bandwidth=1.25e9)
+INTRA_DC = LinkProfile(latency=0.00025, jitter=0.0001, bandwidth=1.25e9)
+LOOPBACK = LinkProfile(latency=0.00002)
+
+
+class Network:
+    """Registry of hosts plus site-pair link profiles."""
+
+    def __init__(self, env: Environment, streams: RandomStreams,
+                 default_profile: LinkProfile = INTRA_DC):
+        self.env = env
+        self.rng = streams.stream("network")
+        self.default_profile = default_profile
+        self.local_profile = LOOPBACK
+        self._hosts: dict[str, "Host"] = {}
+        self._profiles: dict[tuple[str, str], LinkProfile] = {}
+        self.dropped = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def register(self, host: "Host") -> None:
+        if host.ip in self._hosts:
+            raise ValueError(f"duplicate host ip {host.ip}")
+        self._hosts[host.ip] = host
+
+    def host(self, ip: str) -> Optional["Host"]:
+        return self._hosts.get(ip)
+
+    def hosts(self) -> list["Host"]:
+        return list(self._hosts.values())
+
+    def add_profile(self, src_site: str, dst_site: str,
+                    profile: LinkProfile, symmetric: bool = True) -> None:
+        self._profiles[(src_site, dst_site)] = profile
+        if symmetric:
+            self._profiles[(dst_site, src_site)] = profile
+
+    def profile_between(self, src: "Host", dst: "Host") -> LinkProfile:
+        if src is dst:
+            return self.local_profile
+        return self._profiles.get((src.site, dst.site), self.default_profile)
+
+    # -- delivery -------------------------------------------------------------
+
+    def transmit(self, src: "Host", dst_ip: str,
+                 deliver: Callable[[], None], size: int = 100,
+                 not_before: float = 0.0) -> float:
+        """Run ``deliver()`` after the link delay (or drop the message).
+
+        ``not_before`` floors the arrival time — stream transports use it
+        to keep per-connection delivery in order (a small message sent
+        after a large one must not overtake it).  Returns the arrival
+        time (even for drops, so callers can keep their ordering clock).
+        """
+        delay = 0.0
+        dst = self._hosts.get(dst_ip)
+        if dst is not None:
+            profile = self.profile_between(src, dst)
+            delay = profile.delay(size, self.rng)
+        arrival = max(self.env.now + delay, not_before)
+        if dst is None:
+            self.dropped += 1
+            return arrival
+        profile = self.profile_between(src, dst)
+        if profile.loss > 0 and self.rng.random() < profile.loss:
+            self.dropped += 1
+            return arrival
+        timeout = self.env.timeout(arrival - self.env.now)
+        timeout.callbacks.append(lambda _ev: deliver())
+        return arrival
+
+    def rtt(self, src: "Host", dst: "Host") -> float:
+        """Nominal round-trip (no jitter, no serialization)."""
+        return 2 * self.profile_between(src, dst).latency

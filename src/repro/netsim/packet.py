@@ -1,0 +1,55 @@
+"""Wire units: datagrams and stream messages.
+
+The simulation does not model individual bytes on the wire; it models
+*messages* (application-meaningful units) and *datagrams* (UDP packets).
+Each carries a nominal ``size`` in bytes so links can charge serialization
+delay and experiments can count bandwidth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .addresses import FourTuple
+
+__all__ = ["Datagram", "StreamMessage", "ControlType", "StreamControl"]
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class Datagram:
+    """A UDP datagram in flight."""
+
+    flow: FourTuple
+    payload: Any
+    size: int = 100
+    #: Optional connection id (QUIC-style) readable by user-space routers.
+    connection_id: Optional[int] = None
+    id: int = field(default_factory=lambda: next(_ids))
+
+
+@dataclass
+class StreamMessage:
+    """One application message on an established TCP connection."""
+
+    payload: Any
+    size: int = 100
+    id: int = field(default_factory=lambda: next(_ids))
+
+
+class ControlType:
+    """In-band control markers on a TCP stream."""
+
+    FIN = "FIN"
+    RST = "RST"
+
+
+@dataclass
+class StreamControl:
+    """A FIN or RST delivered in-order on a connection's receive queue."""
+
+    kind: str
+    id: int = field(default_factory=lambda: next(_ids))

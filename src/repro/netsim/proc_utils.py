@@ -1,0 +1,48 @@
+"""Small helpers for writing simulation processes."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..simkernel.core import Environment
+from ..simkernel.events import AnyOf, Event
+
+__all__ = ["with_timeout", "TimeoutResult", "TIMED_OUT", "is_timeout"]
+
+
+class TimeoutResult:
+    """Sentinel returned by :func:`with_timeout` when the deadline won."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<timed out>"
+
+
+TIMED_OUT = TimeoutResult()
+
+
+def with_timeout(env: Environment, event: Event, timeout: float):
+    """Wait for ``event`` or ``timeout`` seconds, whichever first.
+
+    Usage::
+
+        outcome = yield from with_timeout(env, conn.recv(), 5.0)
+        if outcome is TIMED_OUT: ...
+
+    Returns the event's value, or the :data:`TIMED_OUT` sentinel.  If the
+    event fails, its exception propagates to the caller.
+    """
+    deadline = env.timeout(timeout, value=TIMED_OUT)
+    result = yield AnyOf(env, [event, deadline])
+    if event in result:
+        # Cancel the pending get if the event supports it, so an unread
+        # queue item is not consumed later by a stale getter.
+        return result[event]
+    cancel = getattr(event, "cancel", None)
+    if cancel is not None:
+        cancel()
+    return TIMED_OUT
+
+
+def is_timeout(value: Any) -> bool:
+    """True if ``value`` is the :func:`with_timeout` sentinel."""
+    return isinstance(value, TimeoutResult)

@@ -1,0 +1,63 @@
+"""SO_REUSEPORT socket rings.
+
+The Linux kernel multiplexes packets arriving at one (proto, addr, port)
+across every socket bound with ``SO_REUSEPORT`` by hashing the packet's
+flow tuple over the current ring membership.  The paper's Figure 2d
+observation falls straight out of this model: during a naive restart the
+ring is "in flux" — the new process adds entries and the old process's
+entries are purged — so the hash→socket mapping changes and packets of
+established UDP flows land on a process with no state for them.
+
+Socket Takeover avoids the flux entirely: FDs are passed, which is
+``dup()``-equivalent, so *the ring membership never changes*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .addresses import FourTuple, stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .sockets import UdpSocket
+
+__all__ = ["ReusePortGroup"]
+
+
+class ReusePortGroup:
+    """The ring of sockets bound to one UDP endpoint.
+
+    Socket pick is ``hash(flow 4-tuple) mod ring size`` over the entries
+    in bind order — stable while membership is stable, arbitrarily
+    reshuffled whenever an entry is added or purged.
+    """
+
+    def __init__(self, salt: int = 0):
+        self.salt = salt
+        self._ring: list["UdpSocket"] = []
+        #: Bumped on every membership change; lets tests observe "flux".
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def sockets(self) -> list["UdpSocket"]:
+        return list(self._ring)
+
+    def add(self, socket: "UdpSocket") -> None:
+        self._ring.append(socket)
+        self.version += 1
+
+    def remove(self, socket: "UdpSocket") -> None:
+        if socket in self._ring:
+            self._ring.remove(socket)
+            self.version += 1
+
+    def pick(self, flow: FourTuple) -> Optional["UdpSocket"]:
+        """The socket the kernel would deliver this flow's packet to."""
+        if not self._ring:
+            return None
+        index = stable_hash(flow.src, flow.dst, flow.protocol.value,
+                            self.salt) % len(self._ring)
+        return self._ring[index]

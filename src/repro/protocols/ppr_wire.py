@@ -1,0 +1,105 @@
+"""Wire-accurate Partial Post Replay forwarding state (§5.2).
+
+The simulation forwards POST bodies as abstract sized chunks; this
+module is the byte-exact counterpart a real proxy needs for HTTP/1.1
+chunked transfer encoding: it tracks *exactly* where in the chunked
+stream forwarding stopped ("whether it is in the middle or at the
+beginning of a chunk") and reconstitutes a valid chunked stream for the
+replacement server, splicing the 379-echoed bytes with the not-yet-read
+remainder of the client's stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .http import ChunkedDecoder, ChunkedEncoder, ChunkedState
+
+__all__ = ["PostForwardingState"]
+
+
+class PostForwardingState:
+    """Tracks one streaming POST's forwarding position at byte level.
+
+    Usage on the proxy:
+
+    * feed every wire fragment received from the client through
+      :meth:`forward` — it returns the bytes to pass upstream unchanged;
+    * on a 379, call :meth:`replay_prologue` with the echoed partial
+      body to get the byte stream that must open the replayed request
+      (a freshly framed chunked stream of the echoed payload);
+    * keep calling :meth:`forward_remaining` for the client bytes that
+      arrive after the switch — they are *re-framed*, because the
+      original chunk headers no longer line up once we stopped
+      mid-chunk.
+    """
+
+    def __init__(self):
+        self._decoder = ChunkedDecoder()
+        #: Payload bytes confirmed forwarded to the (original) server.
+        self.forwarded_payload = 0
+        self._switched = False
+
+    @property
+    def state(self) -> ChunkedState:
+        return self._decoder.state
+
+    @property
+    def mid_chunk(self) -> bool:
+        """True if forwarding stopped inside a chunk's data."""
+        return self._decoder.state.mid_chunk_remaining > 0
+
+    @property
+    def finished(self) -> bool:
+        return self._decoder.finished
+
+    # -- before the restart ------------------------------------------------
+
+    def forward(self, wire_fragment: bytes) -> bytes:
+        """Account a fragment of the client's chunked stream.
+
+        Returns the fragment itself (pass-through) — on the original
+        connection the proxy forwards bytes verbatim; we only track
+        position.
+        """
+        if self._switched:
+            raise RuntimeError("use forward_remaining after the switch")
+        payload = self._decoder.feed(wire_fragment)
+        self.forwarded_payload += len(payload)
+        return wire_fragment
+
+    # -- after the 379 ---------------------------------------------------------
+
+    def replay_prologue(self, echoed_body: bytes) -> bytes:
+        """Open the replayed request's body with the echoed bytes.
+
+        The echoed body is raw payload (the server already de-chunked
+        it); we re-frame it as fresh chunked data for the new server.
+        Switches this state into replay mode.
+        """
+        self._switched = True
+        if not echoed_body:
+            return b""
+        return ChunkedEncoder.encode_chunk(echoed_body)
+
+    def forward_remaining(self, payload_fragment: bytes,
+                          is_last: bool = False) -> bytes:
+        """Re-frame post-switch client payload for the new server.
+
+        ``payload_fragment`` is de-chunked payload (the proxy keeps
+        decoding the client's stream with its original decoder); the
+        output is valid chunked framing for the replacement connection.
+        """
+        if not self._switched:
+            raise RuntimeError("not switched; use forward()")
+        out = b""
+        if payload_fragment:
+            out += ChunkedEncoder.encode_chunk(payload_fragment)
+        if is_last:
+            out += ChunkedEncoder.encode_final()
+        return out
+
+    def decode_client_fragment(self, wire_fragment: bytes) -> bytes:
+        """Post-switch: keep consuming the client's original chunked
+        stream, returning newly decoded payload bytes."""
+        return self._decoder.feed(wire_fragment)

@@ -1,0 +1,35 @@
+"""Proxygen: the L7 load balancer and its zero-downtime mechanisms.
+
+Implements §4 of the paper: Socket Takeover (with UDP FD passing and
+user-space connection-ID routing), Downstream Connection Reuse for MQTT
+tunnels, and the proxy side of Partial Post Replay.
+"""
+
+from .config import ProxygenConfig, default_vips
+from .context import ProxyTierContext
+from .ops import OrphanReport, audit_orphaned_udp_sockets, force_close_orphans
+from .instance import ProxygenInstance
+from .server import ProxygenServer
+from .takeover import SocketMeta, TakeoverResult
+from .tunnels import EdgeMqttTunnel, OriginMqttTunnel
+from .udp import ForwardedPacket, QuicService
+from .upstream import UpstreamPool, UpstreamUnavailable
+
+__all__ = [
+    "ProxygenConfig",
+    "ProxygenInstance",
+    "ProxygenServer",
+    "ProxyTierContext",
+    "SocketMeta",
+    "TakeoverResult",
+    "EdgeMqttTunnel",
+    "OriginMqttTunnel",
+    "ForwardedPacket",
+    "QuicService",
+    "UpstreamPool",
+    "UpstreamUnavailable",
+    "default_vips",
+    "OrphanReport",
+    "audit_orphaned_udp_sockets",
+    "force_close_orphans",
+]

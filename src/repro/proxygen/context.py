@@ -1,0 +1,39 @@
+"""Wiring context handed to each Proxygen: where its upstreams live."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..lb.consistent_hash import ConsistentHashRing
+from ..netsim.addresses import Endpoint, FourTuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..appserver.pool import AppServerPool
+
+__all__ = ["ProxyTierContext"]
+
+
+@dataclass
+class ProxyTierContext:
+    """References a Proxygen instance needs to reach the next tier.
+
+    * Edge mode uses ``origin_vip`` + ``origin_router`` to open
+      Edge↔Origin HTTP/2 connections (router = the origin Katran's
+      decision function, flow → backend host ip).
+    * Origin mode uses ``app_pool`` (HHVM servers) and the
+      ``broker_ring``/``broker_port`` pair (user-id consistent hashing
+      onto MQTT brokers, §4.2).
+    """
+
+    origin_vip: Optional[Endpoint] = None
+    origin_router: Optional[Callable[[FourTuple], Optional[str]]] = None
+    app_pool: Optional["AppServerPool"] = None
+    broker_ring: Optional[ConsistentHashRing] = None
+    broker_port: int = 1883
+
+    def broker_for_user(self, user_id: int) -> Optional[str]:
+        """Broker host ip owning ``user_id``'s session (consistent hash)."""
+        if self.broker_ring is None:
+            return None
+        return self.broker_ring.lookup("user", user_id)

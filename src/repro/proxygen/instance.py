@@ -1,0 +1,674 @@
+"""One running Proxygen process: serving loops, draining, PPR, DCR glue.
+
+A :class:`ProxygenInstance` is one OS process of the L7LB.  The
+:class:`~repro.proxygen.server.ProxygenServer` owns the sequence of
+instances across restarts (generations) and implements the release
+strategies on top of the primitives here:
+
+* ``start_fresh`` — cold boot, bind everything (first boot / HardRestart)
+* ``start_via_takeover`` — Socket Takeover from the serving instance
+* ``begin_drain`` — stop taking new work; existing connections continue
+* ``shutdown`` — the end of draining: the process exits (remaining
+  connections get RST — what end users experience when a drain is not
+  long enough)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..appserver.pool import UpstreamConnectionPool
+from ..netsim.addresses import Endpoint, Protocol
+from ..netsim.errors import (
+    ConnectionRefusedSim,
+    ConnectionResetSim,
+    SocketClosedSim,
+)
+from ..netsim.packet import ControlType, StreamControl
+from ..netsim.proc_utils import TIMED_OUT, with_timeout
+from ..protocols.http import (
+    BodyChunk,
+    HttpRequest,
+    HttpResponse,
+    STATUS_INTERNAL_ERROR,
+    STATUS_OK,
+    STATUS_PARTIAL_POST_REPLAY,
+    is_valid_ppr_response,
+)
+from ..protocols.http2 import FrameType, H2Connection, H2Error
+from ..protocols.mqtt import MqttConnect, ReConnect
+from ..protocols.quic import QuicStateTable
+from ..protocols.tls import TlsClientHello, server_handle_hello
+from ..simkernel.events import AnyOf
+from .takeover import run_takeover_client, run_takeover_server_session
+from .tunnels import EdgeMqttTunnel, OriginMqttTunnel
+from .udp import QuicService
+from .upstream import UpstreamPool, UpstreamUnavailable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.sockets import TcpEndpoint, TcpListenSocket, UdpSocket
+    from .server import ProxygenServer
+
+__all__ = ["ProxygenInstance"]
+
+
+class ProxygenInstance:
+    """One generation of a Proxygen on one host."""
+
+    STATE_STARTING = "starting"
+    STATE_ACTIVE = "active"
+    STATE_DRAINING = "draining"
+    STATE_EXITED = "exited"
+
+    def __init__(self, server: "ProxygenServer", generation: int):
+        self.server = server
+        self.host = server.host
+        self.config = server.config
+        self.context = server.context
+        self.generation = generation
+        self.name = f"{server.name}/gen{generation}"
+        self.process = self.host.spawn(self.name)
+        self.process.base_memory = self.config.base_memory
+        self.process.memory_per_connection = self.config.memory_per_connection
+        #: Traffic counters are continuous across generations.
+        self.counters = server.counters
+        self.state = self.STATE_STARTING
+        self.exited_event = self.host.env.event()
+
+        self.tcp_listeners: dict[str, "TcpListenSocket"] = {}
+        self.udp_sockets: dict[str, list["UdpSocket"]] = {}
+        self.forward_sock: Optional["UdpSocket"] = None
+        self.forward_port = (self.config.forward_port_base
+                             + (generation % 500))
+        #: Where to user-space-route unknown QUIC flows (the draining
+        #: sibling's host-local address), or None.
+        self.sibling_forward_port: Optional[int] = None
+
+        self.quic_states = QuicStateTable(owner=self.name)
+        self.quic = QuicService(self)
+        #: ids() of UDP sockets this instance is actively reading —
+        #: consumed by the §5.1 orphan audit (repro.proxygen.ops).
+        self.udp_reading: set[int] = set()
+        self.mqtt_tunnels: dict[int, object] = {}
+        self._serving_tasks: list = []
+        self._takeover_listener = None
+
+        if self.config.mode == "edge":
+            if (self.context.origin_vip is None
+                    or self.context.origin_router is None):
+                raise ValueError("edge mode needs origin_vip/origin_router")
+            self.upstream = UpstreamPool(
+                self, self.context.origin_vip, self.context.origin_router)
+        else:
+            self.upstream = None
+        self.conn_pool = UpstreamConnectionPool(self.host, self.process)
+        self.edge_h2_conns: list[H2Connection] = []
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def serving(self) -> bool:
+        """Accepting/reading new work."""
+        return self.state == self.STATE_ACTIVE and self.process.alive
+
+    @property
+    def alive(self) -> bool:
+        return self.process.alive
+
+    def count_client_error(self, kind: str) -> None:
+        """Errors sent toward end-users, tagged like Fig 12's categories."""
+        self.counters.inc("client_error", tag=kind)
+        self.host.metrics.series("edge/errors").record(self.host.env.now)
+
+    # ------------------------------------------------------------------
+    # startup paths
+    # ------------------------------------------------------------------
+
+    def start_fresh(self):
+        """Generator: cold boot — bind all sockets ourselves."""
+        yield from self._spawn_costs()
+        self._bind_all_fresh()
+        self._bind_forward_socket()
+        self._start_takeover_server()
+        self._start_serving_loops()
+        self.state = self.STATE_ACTIVE
+
+    def start_via_takeover(self):
+        """Generator: §4.1 Socket Takeover from the serving instance."""
+        yield from self._spawn_costs()
+        result = yield from run_takeover_client(self)
+        table = self.process.fd_table
+        for vip_name, fd in result.tcp_listener_fds.items():
+            self.tcp_listeners[vip_name] = table.resource(fd)
+        if self.config.pass_udp_fds:
+            for vip_name, fds in result.udp_socket_fds.items():
+                self.udp_sockets[vip_name] = [table.resource(fd)
+                                              for fd in fds]
+        else:
+            # Ablation (Fig 2d): bind our own SO_REUSEPORT sockets; the
+            # kernel ring now contains old + new entries -> flux.
+            self._bind_udp_fresh()
+        self.sibling_forward_port = result.old_forward_port
+        self._bind_forward_socket()
+        self._start_takeover_server()
+        self._start_serving_loops()
+        self.state = self.STATE_ACTIVE
+        self.counters.inc("takeover_completed")
+        return result
+
+    def _spawn_costs(self):
+        """Process spawn: config load wall time + CPU burn (Fig 17's
+        initial spike — the machine is busier while two instances run)."""
+        self.host.cpu.background(self.config.costs.process_spawn)
+        yield self.host.env.timeout(self.config.spawn_delay)
+
+    def _bind_all_fresh(self) -> None:
+        kernel = self.host.kernel
+        for vip in self.server.vips:
+            if vip.protocol == Protocol.TCP:
+                _, listener = kernel.tcp_listen(self.process, vip.endpoint)
+                self.tcp_listeners[vip.name] = listener
+        self._bind_udp_fresh()
+
+    def _bind_udp_fresh(self) -> None:
+        kernel = self.host.kernel
+        for vip in self.server.vips:
+            if vip.protocol == Protocol.UDP:
+                sockets = []
+                for _ in range(self.config.udp_sockets_per_vip):
+                    _, sock = kernel.udp_bind(
+                        self.process, vip.endpoint, reuseport=True)
+                    sockets.append(sock)
+                self.udp_sockets[vip.name] = sockets
+
+    def _bind_forward_socket(self) -> None:
+        _, self.forward_sock = self.host.kernel.udp_bind(
+            self.process, Endpoint(self.host.ip, self.forward_port))
+
+    def _start_takeover_server(self) -> None:
+        self._takeover_listener = self.host.unix_listen(
+            self.process, self.config.takeover_path)
+        self.process.run(self._takeover_server_loop())
+
+    def _takeover_server_loop(self):
+        listener = self._takeover_listener
+        while self.process.alive and not listener.closed:
+            channel = yield listener.accept()
+            yield from run_takeover_server_session(self, channel)
+
+    def _start_serving_loops(self) -> None:
+        run = self.process.run
+        for vip_name, listener in self.tcp_listeners.items():
+            self._serving_tasks.append(
+                run(self._accept_loop(vip_name, listener)))
+        if not self.config.buggy_ignore_received_udp_fds:
+            for vip_name, sockets in self.udp_sockets.items():
+                for sock in sockets:
+                    self._serving_tasks.append(
+                        run(self.quic.vip_socket_loop(sock)))
+        run(self.quic.forward_socket_loop(self.forward_sock))
+        run(self.quic.expire_loop())
+
+    # ------------------------------------------------------------------
+    # draining / shutdown
+    # ------------------------------------------------------------------
+
+    def begin_drain(self, reason: str) -> None:
+        """Stop taking new work; keep serving existing connections.
+
+        ``reason="takeover"``: a successor owns the shared sockets, so
+        our accept/VIP-read loops must stop touching them entirely.
+        ``reason="hard"``: no successor — refuse new connections (fail
+        health checks) but keep reading our own sockets.
+        """
+        if self.state != self.STATE_ACTIVE:
+            return
+        self.state = self.STATE_DRAINING
+        self.counters.inc("drain_started", tag=reason)
+        if self._takeover_listener is not None:
+            self._takeover_listener.close()
+        if reason == "takeover":
+            active = self.host.env.active_process
+            for task in self._serving_tasks:
+                if task.is_alive and task is not active:
+                    task.interrupt("drain")
+            self._serving_tasks.clear()
+        else:
+            for listener in self.tcp_listeners.values():
+                listener.pause_accepting()
+        if self.config.mode == "origin":
+            for conn in list(self.edge_h2_conns):
+                if conn.alive:
+                    try:
+                        conn.send_goaway()
+                    except H2Error:
+                        pass
+            if self.config.enable_dcr:
+                for tunnel in list(self.mqtt_tunnels.values()):
+                    tunnel.solicit_reconnect()
+        elif self.config.enable_dcr:
+            # Edge restart: solicit end-user clients to proactively
+            # reconnect (§4.2 caveat; needs client-side support).
+            for tunnel in list(self.mqtt_tunnels.values()):
+                tunnel.solicit_client()
+        self.process.run(self._drain_then_exit())
+
+    def _drain_then_exit(self):
+        yield self.host.env.timeout(self.config.drain_duration)
+        self.shutdown("drain_complete")
+
+    def shutdown(self, reason: str = "shutdown") -> None:
+        """Terminate the process (remaining connections are RST)."""
+        if self.state == self.STATE_EXITED:
+            return
+        self.state = self.STATE_EXITED
+        if self._takeover_listener is not None:
+            self._takeover_listener.close()
+        self.process.exit(reason)
+        if not self.exited_event.triggered:
+            self.exited_event.succeed(reason)
+        self.server.on_instance_exit(self)
+
+    # ------------------------------------------------------------------
+    # TCP accept + connection serving
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self, vip_name: str, listener: "TcpListenSocket"):
+        while self.serving and not listener.closed:
+            conn = yield listener.accept(self.process)
+            # Spawn the serve task *immediately*: once accept() returned,
+            # this connection belongs to our process and must be served
+            # through the drain even if the loop is interrupted right
+            # after (Socket Takeover handoff).
+            if self.config.mode == "edge":
+                self.process.run(self._serve_edge_conn(conn))
+            else:
+                self.process.run(self._serve_origin_conn(conn))
+
+    def _accept_costs(self):
+        yield from self.host.cpu.execute(self.config.costs.tcp_handshake)
+
+    # -- edge ------------------------------------------------------------
+
+    def _serve_edge_conn(self, conn: "TcpEndpoint"):
+        costs = self.config.costs
+        yield from self._accept_costs()
+        while conn.alive:
+            item = yield conn.recv()
+            if isinstance(item, StreamControl):
+                return
+            payload = item.payload
+            if isinstance(payload, TlsClientHello):
+                yield from server_handle_hello(
+                    payload, conn, self.host.cpu, costs)
+                self.counters.inc("tls_handshakes")
+            elif isinstance(payload, HttpRequest):
+                yield from self._edge_http(conn, payload)
+            elif isinstance(payload, MqttConnect):
+                tunnel = EdgeMqttTunnel(self, conn, payload.user_id)
+                ok = yield from tunnel.establish(payload)
+                if ok:
+                    yield from tunnel.client_loop()
+                return
+
+    def _edge_http(self, conn: "TcpEndpoint", request: HttpRequest):
+        env = self.host.env
+        costs = self.config.costs
+        self.counters.inc("rps")
+        self.host.metrics.series(f"rps/{self.server.name}").record(env.now)
+        yield from self.host.cpu.execute(costs.relay_message)
+
+        if request.headers.get("cacheable") == "1":
+            # Served from the edge cache (Direct Server Return, §2.2).
+            yield from self.host.cpu.execute(costs.http_request * 0.5)
+            if conn.alive:
+                response_size = 4000
+                conn.send(HttpResponse(STATUS_OK, request.id),
+                          size=response_size)
+                self._count_response(STATUS_OK, response_size)
+            return
+
+        try:
+            stream = yield from self.upstream.open_stream()
+        except UpstreamUnavailable:
+            self._edge_http_error(conn, request, "stream_abort")
+            return
+        try:
+            stream.send(request, size=400, frame_type=FrameType.HEADERS,
+                        end_stream=not request.streaming)
+        except H2Error:
+            self._edge_http_error(conn, request, "stream_abort")
+            return
+
+        if request.streaming:
+            while conn.alive:
+                item = yield conn.recv()
+                if isinstance(item, StreamControl):
+                    stream.rst()
+                    self.counters.inc("client_gone_mid_post")
+                    return
+                chunk = item.payload
+                if not isinstance(chunk, BodyChunk):
+                    continue
+                yield from self.host.cpu.execute(costs.relay_message)
+                try:
+                    stream.send(chunk, size=chunk.data_size,
+                                end_stream=chunk.is_last)
+                except H2Error:
+                    self._edge_http_error(conn, request, "stream_abort")
+                    return
+                if chunk.is_last:
+                    break
+
+        outcome = yield from with_timeout(
+            env, stream.recv(), self.config.upstream_timeout)
+        if outcome is TIMED_OUT:
+            kind = "write_timeout" if request.streaming else "timeout"
+            self._edge_http_error(conn, request, kind)
+            return
+        frame = outcome
+        if frame.type == FrameType.RST_STREAM or stream.reset:
+            self._edge_http_error(conn, request, "stream_abort")
+            return
+        response: HttpResponse = frame.payload
+        if conn.alive:
+            response_size = max(600, response.body_size)
+            conn.send(response, size=response_size)
+            self._count_response(response.status, response_size)
+
+    def _edge_http_error(self, conn: "TcpEndpoint", request: HttpRequest,
+                         kind: str) -> None:
+        self.count_client_error(kind)
+        if conn.alive:
+            conn.send(HttpResponse(STATUS_INTERNAL_ERROR, request.id,
+                                   "Internal Server Error"), size=200)
+            self._count_response(STATUS_INTERNAL_ERROR, 200)
+
+    def _count_response(self, status: int, size: int) -> None:
+        self.counters.inc("http_status", tag=str(status))
+        self.host.metrics.series(
+            f"throughput/{self.server.name}").record(
+                self.host.env.now, size)
+
+    # -- origin ------------------------------------------------------------
+
+    def _serve_origin_conn(self, conn: "TcpEndpoint"):
+        yield from self._accept_costs()
+        h2 = H2Connection(conn, role="server")
+        h2.start(self.process)
+        self.edge_h2_conns.append(h2)
+        if self.state == self.STATE_DRAINING:
+            h2.send_goaway()
+        try:
+            while h2.alive:
+                accept_ev = h2.accept_stream()
+                result = yield AnyOf(self.host.env,
+                                     [accept_ev, h2.closed_event])
+                if accept_ev in result:
+                    stream = result[accept_ev]
+                    self.process.run(self._serve_origin_stream(stream))
+                else:
+                    accept_ev.cancel()
+                    return
+        finally:
+            if h2 in self.edge_h2_conns:
+                self.edge_h2_conns.remove(h2)
+
+    def _serve_origin_stream(self, stream):
+        frame = stream.inbox.try_get()
+        if frame is None:
+            frame = yield stream.recv()
+        if frame.type == FrameType.RST_STREAM:
+            return
+        payload = frame.payload
+        if isinstance(payload, HttpRequest):
+            self.counters.inc("rps")
+            self.host.metrics.series(
+                f"rps/{self.server.name}").record(self.host.env.now)
+            if payload.streaming and payload.method == "POST":
+                yield from self._origin_post(stream, payload)
+            else:
+                yield from self._origin_short(stream, payload)
+        elif isinstance(payload, (MqttConnect, ReConnect)):
+            user_id = payload.user_id
+            tunnel = OriginMqttTunnel(self, stream, user_id)
+            yield from tunnel.run(payload)
+
+    def _origin_short(self, stream, request: HttpRequest):
+        """Forward a short request to a healthy app server (retry twice)."""
+        env = self.host.env
+        costs = self.config.costs
+        yield from self.host.cpu.execute(costs.relay_message)
+        exclude: tuple[str, ...] = ()
+        for _attempt in range(3):
+            server = self.context.app_pool.pick(exclude)
+            if server is None:
+                break
+            try:
+                conn = yield from self.conn_pool.checkout(
+                    server.host.ip, server.endpoint.port)
+            except ConnectionRefusedSim:
+                exclude += (server.host.ip,)
+                continue
+            try:
+                conn.send(request, size=500)
+            except (SocketClosedSim, ConnectionResetSim):
+                exclude += (server.host.ip,)
+                continue
+            outcome = yield from with_timeout(
+                env, conn.recv(), self.config.upstream_timeout)
+            if outcome is TIMED_OUT:
+                conn.abort(reason="upstream_timeout")
+                exclude += (server.host.ip,)
+                continue
+            if isinstance(outcome, StreamControl):
+                # Server reset mid-request (hard restart): retry is safe
+                # for the short, idempotent API calls of this path.
+                exclude += (server.host.ip,)
+                continue
+            response: HttpResponse = outcome.payload
+            self.conn_pool.checkin(conn)
+            self._stream_reply(stream, response,
+                               size=max(600, response.body_size))
+            return
+        self._fail_stream(stream, request)
+
+    @staticmethod
+    def _pending_upstream_response(conn) -> Optional[HttpResponse]:
+        """Scan a (possibly reset) upstream conn's inbox for a response.
+
+        A restarting app server sends its 379 and closes; if we were
+        mid-chunk-send we observe the RST *before* reading the response.
+        The echoed body is still sitting in the receive queue — a real
+        proxy drains it; losing it would silently drop the body prefix
+        from the replay.
+        """
+        for item in list(conn.inbox.items):
+            if (not isinstance(item, StreamControl)
+                    and isinstance(item.payload, HttpResponse)):
+                conn.inbox.items.remove(item)
+                return item.payload
+        return None
+
+    def _origin_post(self, stream, request: HttpRequest):
+        """Forward a streaming POST with Partial Post Replay (§4.3)."""
+        env = self.host.env
+        costs = self.config.costs
+        self.counters.inc("post_started")
+        yield from self.host.cpu.execute(costs.relay_message)
+
+        replay_bytes = 0      # burst to re-send to the next server
+        forwarded = 0         # body bytes sent to the current server
+        last_seen = False     # client finished its body
+        pending: list[BodyChunk] = []
+        exclude: tuple[str, ...] = ()
+
+        def absorb_ppr(response: HttpResponse) -> None:
+            """Fold a valid 379 into the replay state."""
+            nonlocal replay_bytes
+            self.counters.inc("ppr_379_received")
+            self.counters.inc("ppr_bytes_echoed_received",
+                              response.partial_body_size)
+            # Echoed partial body, topped up with the gap we forwarded
+            # but the server had not processed (our forwarding state
+            # knows its size, §5.2).
+            replay_bytes = max(forwarded, response.partial_body_size)
+
+        for _attempt in range(self.config.ppr_max_retries + 1):
+            server = self.context.app_pool.pick(exclude)
+            if server is None:
+                self._fail_post(stream, request, "no_backend")
+                return
+            try:
+                conn = yield from self.conn_pool.checkout(
+                    server.host.ip, server.endpoint.port)
+            except ConnectionRefusedSim:
+                exclude += (server.host.ip,)
+                continue
+            try:
+                conn.send(request.clone_for_replay(), size=400)
+                if replay_bytes:
+                    # The §4.3 bandwidth cost: the whole partial body
+                    # crosses the DC fabric again.
+                    conn.send(BodyChunk(request.id, replay_bytes,
+                                        sequence=-1,
+                                        is_last=(last_seen and not pending)),
+                              size=replay_bytes)
+                    self.counters.inc("ppr_bytes_replayed", replay_bytes)
+                forwarded = replay_bytes
+                for chunk in pending:
+                    conn.send(chunk, size=chunk.data_size)
+                    forwarded += chunk.data_size
+                pending = []
+            except (SocketClosedSim, ConnectionResetSim):
+                exclude += (server.host.ip,)
+                continue
+
+            def give_up_on_server(conn=conn) -> str:
+                """The server stopped taking our bytes: look for a late
+                response (likely the 379) before switching away."""
+                late = self._pending_upstream_response(conn)
+                if late is not None and is_valid_ppr_response(late):
+                    absorb_ppr(late)
+                    return "switch"
+                if late is not None and late.status != STATUS_OK:
+                    return "fail"  # an explicit 500: do not retry blindly
+                return "switch"
+
+            switch_server = False
+            while not switch_server:
+                if last_seen:
+                    outcome = yield from with_timeout(
+                        env, conn.recv(), self.config.upstream_timeout)
+                    if outcome is TIMED_OUT:
+                        conn.abort(reason="upstream_timeout")
+                        self._fail_post(stream, request, "write_timeout")
+                        return
+                    arrivals = [("conn", outcome)]
+                else:
+                    stream_ev = stream.recv()
+                    conn_ev = conn.recv()
+                    result = yield AnyOf(env, [stream_ev, conn_ev])
+                    arrivals = []
+                    if stream_ev in result:
+                        arrivals.append(("stream", result[stream_ev]))
+                    else:
+                        stream_ev.cancel()
+                    if conn_ev in result:
+                        arrivals.append(("conn", result[conn_ev]))
+                    else:
+                        conn_ev.cancel()
+
+                for source, item in arrivals:
+                    if source == "stream":
+                        if (getattr(item, "type", None) == FrameType.RST_STREAM
+                                or stream.reset):
+                            conn.abort(reason="edge_gone")
+                            self.counters.inc("post_edge_gone")
+                            return
+                        chunk = item.payload
+                        if not isinstance(chunk, BodyChunk):
+                            continue
+                        if chunk.is_last:
+                            last_seen = True
+                        sent = False
+                        if conn.alive:
+                            try:
+                                conn.send(chunk, size=chunk.data_size)
+                                forwarded += chunk.data_size
+                                sent = True
+                            except (SocketClosedSim, ConnectionResetSim):
+                                pass
+                        if not sent:
+                            pending.append(chunk)
+                            exclude += (server.host.ip,)
+                            if give_up_on_server() == "fail":
+                                self._fail_post(stream, request,
+                                                "upstream_error")
+                                return
+                            switch_server = True
+                    else:
+                        if isinstance(item, StreamControl):
+                            exclude += (server.host.ip,)
+                            verdict = give_up_on_server()
+                            if verdict == "fail":
+                                self._fail_post(stream, request,
+                                                "upstream_error")
+                                return
+                            if (item.kind == ControlType.RST
+                                    and replay_bytes < forwarded):
+                                # Hard death without a (readable) 379: no
+                                # echoed body, nothing safe to replay.
+                                self._fail_post(stream, request,
+                                                "server_reset")
+                                return
+                            switch_server = True
+                            continue
+                        response: HttpResponse = item.payload
+                        if response.status == STATUS_OK:
+                            self.conn_pool.checkin(conn)
+                            self._stream_reply(stream, response, size=600)
+                            self.counters.inc("post_completed")
+                            return
+                        if is_valid_ppr_response(response):
+                            absorb_ppr(response)
+                            exclude += (server.host.ip,)
+                            switch_server = True
+                            continue
+                        if response.status == STATUS_PARTIAL_POST_REPLAY:
+                            # A 379 without the PartialPOST message: do
+                            # NOT trust it (§5.2).
+                            self.counters.inc("ppr_379_invalid")
+                            self._fail_post(stream, request, "invalid_379")
+                            return
+                        # 500 and friends: propagate.
+                        self._stream_reply(stream, response, size=200)
+                        self.counters.inc("post_failed_upstream")
+                        self.counters.inc("post_disrupted")
+                        return
+            # switch_server: fall through to the next pick
+        self._fail_post(stream, request, "retries_exhausted")
+
+    def _stream_reply(self, stream, response: HttpResponse,
+                      size: int) -> None:
+        if stream.reset:
+            return
+        try:
+            stream.send(response, size=size, end_stream=True)
+        except H2Error:
+            pass
+        self.counters.inc("http_status", tag=str(response.status))
+
+    def _fail_stream(self, stream, request: HttpRequest) -> None:
+        self.counters.inc("client_error", tag="stream_abort")
+        self._stream_reply(
+            stream,
+            HttpResponse(STATUS_INTERNAL_ERROR, request.id,
+                         "Internal Server Error"), size=200)
+
+    def _fail_post(self, stream, request: HttpRequest, why: str) -> None:
+        self.counters.inc("post_disrupted")
+        self.counters.inc("post_fail_reason", tag=why)
+        self._fail_stream(stream, request)

@@ -1,0 +1,95 @@
+"""Operational tooling for takeover pitfalls (§5.1).
+
+Passing socket ownership "introduces possibilities of leaking sockets
+and their associated resources": if the receiving process ignores a
+received FD — neither listening on it nor closing it — the orphaned
+socket stays alive in the kernel, keeps receiving its SO_REUSEPORT share
+of packets, and the packets "only sit idle on their queues and never get
+processed", surfacing as user-facing connection timeouts.
+
+The paper's remediation is monitoring plus external commands to close or
+reset such sockets.  This module is that tooling for the simulation:
+audit a host for orphaned UDP sockets and force-close them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.host import Host
+    from ..netsim.sockets import UdpSocket
+    from .server import ProxygenServer
+
+__all__ = ["OrphanReport", "audit_orphaned_udp_sockets",
+           "force_close_orphans"]
+
+
+@dataclass
+class OrphanReport:
+    """One orphaned socket found by the audit."""
+
+    vip_name: str
+    socket: "UdpSocket"
+    queued_datagrams: int
+    owner_instances: list[str]
+
+
+def _reading_sets(server: "ProxygenServer") -> set[int]:
+    """ids() of sockets some live instance is actively reading."""
+    reading: set[int] = set()
+    for instance in (server.active_instance, server.draining_instance):
+        if instance is None or not instance.alive:
+            continue
+        reading.update(instance.udp_reading)
+    return reading
+
+
+def audit_orphaned_udp_sockets(server: "ProxygenServer") -> list[OrphanReport]:
+    """Find live UDP VIP sockets that no live instance is reading.
+
+    These are exactly the §5.1 leak: alive in the kernel (someone holds
+    a reference), receiving their ring share, never drained.
+    """
+    reading = _reading_sets(server)
+    reports: list[OrphanReport] = []
+    seen: set[int] = set()
+    for instance in (server.active_instance, server.draining_instance):
+        if instance is None or not instance.alive:
+            continue
+        for vip_name, sockets in instance.udp_sockets.items():
+            for sock in sockets:
+                if sock.closed or id(sock) in seen:
+                    continue
+                seen.add(id(sock))
+                if id(sock) not in reading:
+                    owners = [
+                        inst.name
+                        for inst in (server.active_instance,
+                                     server.draining_instance)
+                        if inst is not None and inst.alive
+                        and inst.process.fd_table.find_fd(sock) is not None]
+                    reports.append(OrphanReport(
+                        vip_name=vip_name, socket=sock,
+                        queued_datagrams=sock.queued,
+                        owner_instances=owners))
+    return reports
+
+
+def force_close_orphans(server: "ProxygenServer") -> int:
+    """The external mitigation command: close every orphaned socket's
+    FDs so the kernel purges its ring entry and re-hashes its share of
+    traffic to sockets that are actually being read."""
+    closed = 0
+    for report in audit_orphaned_udp_sockets(server):
+        for instance in (server.active_instance,
+                         server.draining_instance):
+            if instance is None or not instance.alive:
+                continue
+            fd = instance.process.fd_table.find_fd(report.socket)
+            while fd is not None:
+                instance.process.fd_table.close(fd)
+                fd = instance.process.fd_table.find_fd(report.socket)
+        closed += 1
+    return closed

@@ -1,0 +1,135 @@
+"""Socket Takeover: the §4.1 protocol over a UNIX domain socket.
+
+Workflow (Figure 5 of the paper):
+
+* (A) the serving instance runs a Socket Takeover server bound to a
+  well-known path; the freshly spawned instance connects to it;
+* (B) the old instance sends the FDs of every listening socket — the
+  TCP listener of each VIP and *all* SO_REUSEPORT UDP sockets — via
+  ``sendmsg``/``SCM_RIGHTS``;
+* (C) the new instance starts serving on the received FDs;
+* (D) it confirms, telling the old instance to begin draining;
+* (E) the old instance stops handling new connections and drains;
+* (F) the new instance answers L4LB health checks from then on.
+
+The messages here are plain dicts; the FD mechanics (refcounted
+descriptions, dup-on-receive) live in :mod:`repro.netsim.unix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .instance import ProxygenInstance
+
+__all__ = ["SocketMeta", "TakeoverResult", "run_takeover_server_session",
+           "run_takeover_client"]
+
+
+@dataclass(frozen=True)
+class SocketMeta:
+    """Describes one FD in the takeover bundle (parallel to the FD array)."""
+
+    vip_name: str
+    protocol: str  # "tcp" | "udp"
+    index: int     # position within the VIP's socket set
+
+
+@dataclass
+class TakeoverResult:
+    """What the new instance ends up with after the handshake."""
+
+    tcp_listener_fds: dict[str, int]
+    udp_socket_fds: dict[str, list[int]]
+    old_forward_port: Optional[int]
+    drain_confirmed: bool
+
+
+def run_takeover_server_session(instance: "ProxygenInstance", channel):
+    """Generator: serve one takeover exchange on the old instance's side.
+
+    Ends with the old instance in draining state (step E).
+    """
+    payload, _fds = yield channel.recv()
+    if not isinstance(payload, dict) or payload.get("type") != "request_fds":
+        channel.send({"type": "error", "reason": "bad request"})
+        return False
+
+    meta, fds = _collect_fd_bundle(instance)
+    channel.send(
+        {
+            "type": "fds",
+            "meta": meta,
+            "forward_port": instance.forward_port,
+        },
+        fds=tuple(fds),
+    )
+
+    payload, _fds = yield channel.recv()
+    if not isinstance(payload, dict) or payload.get("type") != "confirm":
+        channel.send({"type": "error", "reason": "expected confirm"})
+        return False
+
+    # Step D/E: confirmation received -> stop accepting, start draining.
+    instance.begin_drain(reason="takeover")
+    channel.send({"type": "drain_started"})
+    return True
+
+
+def _collect_fd_bundle(instance: "ProxygenInstance"):
+    """The (meta, fds) arrays for every socket the old instance passes."""
+    meta: list[SocketMeta] = []
+    fds: list[int] = []
+    table = instance.process.fd_table
+    for vip_name, listener in instance.tcp_listeners.items():
+        fd = table.find_fd(listener)
+        if fd is None:
+            continue
+        meta.append(SocketMeta(vip_name, "tcp", 0))
+        fds.append(fd)
+    if instance.config.pass_udp_fds:
+        for vip_name, sockets in instance.udp_sockets.items():
+            for index, sock in enumerate(sockets):
+                fd = table.find_fd(sock)
+                if fd is None:
+                    continue
+                meta.append(SocketMeta(vip_name, "udp", index))
+                fds.append(fd)
+    return meta, fds
+
+
+def run_takeover_client(instance: "ProxygenInstance"):
+    """Generator: the new instance's side of the handshake.
+
+    Returns a :class:`TakeoverResult`; raises whatever the transport
+    raises if there is no takeover server (first boot on a machine).
+    """
+    host = instance.host
+    channel = yield host.unix_connect(instance.process,
+                                      instance.config.takeover_path)
+    channel.send({"type": "request_fds"})
+    payload, fds = yield channel.recv()
+    if payload.get("type") != "fds":
+        raise RuntimeError(f"unexpected takeover reply: {payload!r}")
+
+    meta: list[SocketMeta] = payload["meta"]
+    old_forward_port = payload.get("forward_port")
+    tcp_fds: dict[str, int] = {}
+    udp_fds: dict[str, list[int]] = {}
+    for entry, fd in zip(meta, fds):
+        if entry.protocol == "tcp":
+            tcp_fds[entry.vip_name] = fd
+        else:
+            udp_fds.setdefault(entry.vip_name, []).append(fd)
+
+    channel.send({"type": "confirm"})
+    payload, _ = yield channel.recv()
+    drain_confirmed = payload.get("type") == "drain_started"
+    return TakeoverResult(
+        tcp_listener_fds=tcp_fds,
+        udp_socket_fds=udp_fds,
+        old_forward_port=old_forward_port,
+        drain_confirmed=drain_confirmed,
+    )

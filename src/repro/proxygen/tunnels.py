@@ -1,0 +1,372 @@
+"""MQTT tunnels through the proxy tiers + Downstream Connection Reuse.
+
+An end-user MQTT connection is relayed: client ⇄ Edge Proxygen ⇄ (HTTP/2
+stream) ⇄ Origin Proxygen ⇄ broker (§2.2).  The Origin hop only relays
+packets, so it is stateless w.r.t. the tunnel — the property DCR (§4.2)
+exploits: when the Origin restarts it solicits the Edge to re-home the
+tunnel through another healthy Origin proxy, and the broker splices the
+new path into the existing session context.  The end user never notices.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..netsim.errors import (
+    ConnectionRefusedSim,
+    ConnectionResetSim,
+    SocketClosedSim,
+)
+from ..netsim.packet import StreamControl
+from ..netsim.proc_utils import TIMED_OUT, with_timeout
+from ..protocols.http2 import FrameType, H2Error, H2Stream
+from ..protocols.mqtt import (
+    ConnectAck,
+    ConnectRefuse,
+    MqttConnAck,
+    MqttConnect,
+    MqttDisconnect,
+    MqttPingReq,
+    MqttPingResp,
+    MqttPublish,
+    ReConnect,
+    ReconnectSolicitation,
+)
+from .upstream import UpstreamUnavailable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.sockets import TcpEndpoint
+    from .instance import ProxygenInstance
+
+__all__ = ["EdgeMqttTunnel", "OriginMqttTunnel"]
+
+
+class EdgeMqttTunnel:
+    """The Edge side of one user's MQTT tunnel."""
+
+    def __init__(self, instance: "ProxygenInstance",
+                 client_conn: "TcpEndpoint", user_id: int):
+        self.instance = instance
+        self.client_conn = client_conn
+        self.user_id = user_id
+        self.stream: Optional[H2Stream] = None
+        self.closed = False
+
+    # -- establishment ---------------------------------------------------
+
+    def establish(self, connect: MqttConnect):
+        """Generator: open the upstream stream and forward the CONNECT."""
+        instance = self.instance
+        try:
+            self.stream = yield from instance.upstream.open_stream()
+        except UpstreamUnavailable:
+            instance.count_client_error("stream_abort")
+            self.client_conn.abort(reason="no_upstream")
+            self.closed = True
+            return False
+        self.stream.send(connect, size=120, frame_type=FrameType.HEADERS)
+        instance.mqtt_tunnels[self.user_id] = self
+        instance.process.run(self._downstream_loop())
+        return True
+
+    # -- client -> broker direction -------------------------------------------
+
+    def client_loop(self):
+        """Generator (runs in the connection's serve task): relay
+        messages from the end user toward the broker."""
+        instance = self.instance
+        costs = instance.config.costs
+        while self.client_conn.alive and not self.closed:
+            item = yield self.client_conn.recv()
+            if isinstance(item, StreamControl):
+                self._on_client_gone()
+                return
+            message = item.payload
+            yield from instance.host.cpu.execute(costs.relay_message)
+            if self.stream is None or self.stream.reset or self.closed:
+                instance.counters.inc("mqtt_upstream_drop")
+                continue
+            try:
+                self.stream.send(message, size=item.size)
+            except H2Error:
+                instance.counters.inc("mqtt_upstream_drop")
+                continue
+            if isinstance(message, MqttPublish):
+                instance.counters.inc("mqtt_publish_relayed_up")
+                instance.host.metrics.series("mqtt/publish_up").record(
+                    instance.host.env.now)
+
+    # -- broker -> client direction ---------------------------------------------
+
+    def _downstream_loop(self):
+        instance = self.instance
+        costs = instance.config.costs
+        while not self.closed:
+            stream = self.stream
+            frame = yield stream.recv()
+            if stream is not self.stream:
+                continue  # re-homed while we were waiting; drop stale frame
+            if frame.type == FrameType.RST_STREAM or stream.reset:
+                # The Origin hop died without DCR (or DCR failed).
+                self._on_tunnel_broken()
+                return
+            message = frame.payload
+            if isinstance(message, ReconnectSolicitation):
+                if instance.config.enable_dcr:
+                    ok = yield from self._rehome()
+                    if not ok:
+                        return
+                    continue
+                # Without DCR support, ignore: the drain will kill us.
+                continue
+            yield from instance.host.cpu.execute(costs.relay_message)
+            if not self.client_conn.alive:
+                self._teardown()
+                return
+            self.client_conn.send(message, size=frame.size)
+            if isinstance(message, MqttPublish):
+                instance.counters.inc("mqtt_publish_relayed_down")
+                instance.host.metrics.series("mqtt/publish_down").record(
+                    instance.host.env.now)
+
+    # -- DCR -----------------------------------------------------------------
+
+    def _rehome(self):
+        """Generator: move this tunnel to a healthy Origin proxy (§4.2).
+
+        On success the end-user connection is untouched; on failure the
+        edge drops the client connection and the client reconnects the
+        normal way.
+        """
+        instance = self.instance
+        old_stream = self.stream
+        new_stream = None
+        for attempt in range(3):
+            try:
+                candidate = yield from instance.upstream.open_stream()
+            except UpstreamUnavailable:
+                break
+            candidate.send(ReConnect(self.user_id), size=64,
+                           frame_type=FrameType.HEADERS)
+            outcome = yield from with_timeout(
+                instance.host.env, candidate.recv(), 5.0)
+            if (outcome is not TIMED_OUT and not candidate.reset
+                    and isinstance(getattr(outcome, "payload", None),
+                                   ConnectAck)):
+                new_stream = candidate
+                break
+            # A refused stream usually means we raced the restarting
+            # Origin's GOAWAY on a stale connection: the pool has seen
+            # the GOAWAY by now, so the retry dials a fresh connection
+            # (served by the updated parallel instance, §4.4).
+            instance.counters.inc("dcr_rehome_retry")
+            if not candidate.reset and not candidate.local_closed:
+                try:
+                    candidate.send(MqttDisconnect(self.user_id), size=16,
+                                   end_stream=True)
+                except H2Error:
+                    pass
+        if new_stream is None:
+            instance.counters.inc("dcr_rehome_failed")
+            self._on_tunnel_broken()
+            return False
+        self.stream = new_stream
+        if old_stream is not None and not old_stream.reset:
+            try:
+                old_stream.send(MqttDisconnect(self.user_id), size=16,
+                                end_stream=True)
+            except H2Error:
+                pass
+            # Messages already relayed into the old tunnel (in flight
+            # when we switched) must still reach the client: drain the
+            # old stream for a grace period.
+            instance.process.run(self._drain_old_stream(old_stream))
+        instance.counters.inc("dcr_rehomed")
+        return True
+
+    def _drain_old_stream(self, old_stream, grace: float = 2.0):
+        """Relay publishes stranded on the pre-splice stream."""
+        instance = self.instance
+        env = instance.host.env
+        deadline = env.now + grace
+        while env.now < deadline and not old_stream.reset:
+            outcome = yield from with_timeout(
+                env, old_stream.recv(), max(deadline - env.now, 1e-4))
+            if outcome is TIMED_OUT:
+                return
+            frame = outcome
+            if frame.type == FrameType.RST_STREAM:
+                return
+            message = frame.payload
+            if isinstance(message, MqttPublish) and self.client_conn.alive:
+                self.client_conn.send(message, size=frame.size)
+                instance.counters.inc("mqtt_publish_relayed_down")
+                instance.counters.inc("dcr_stranded_relayed")
+                instance.host.metrics.series("mqtt/publish_down").record(
+                    env.now)
+
+    # -- edge-side DCR (§4.2 caveat) --------------------------------------------
+
+    def solicit_client(self) -> None:
+        """Ask the end-user client to proactively reconnect.
+
+        "For a restart at the Edge, the same workflow can be used with
+        end-users, especially mobile clients, to minimize disruptions
+        (by pro-actively re-connecting)."  Requires client support —
+        clients without it simply ignore the message and get cut at the
+        end of the drain like before.
+        """
+        if self.closed or not self.client_conn.alive:
+            return
+        try:
+            self.client_conn.send(
+                ReconnectSolicitation(self.instance.name), size=48)
+            self.instance.counters.inc("dcr_client_solicited")
+        except (SocketClosedSim, ConnectionResetSim):
+            pass
+
+    # -- teardown ---------------------------------------------------------------
+
+    def _on_client_gone(self) -> None:
+        if self.closed:
+            return
+        if self.stream is not None and not self.stream.reset:
+            try:
+                self.stream.send(MqttDisconnect(self.user_id), size=16,
+                                 end_stream=True)
+            except H2Error:
+                pass
+        self._teardown()
+
+    def _on_tunnel_broken(self) -> None:
+        """The broker path is gone: cut the client loose (it reconnects)."""
+        if self.closed:
+            return
+        self.instance.counters.inc("mqtt_tunnel_broken")
+        if self.client_conn.alive:
+            self.client_conn.abort(reason="tunnel_broken")
+        self._teardown()
+
+    def _teardown(self) -> None:
+        self.closed = True
+        self.instance.mqtt_tunnels.pop(self.user_id, None)
+
+
+class OriginMqttTunnel:
+    """The Origin side: relay between an Edge stream and a broker conn."""
+
+    def __init__(self, instance: "ProxygenInstance", stream: H2Stream,
+                 user_id: int):
+        self.instance = instance
+        self.stream = stream
+        self.user_id = user_id
+        self.broker_conn: Optional["TcpEndpoint"] = None
+        self.closed = False
+
+    # -- establishment ---------------------------------------------------------
+
+    def run(self, first_message):
+        """Generator: establish toward the broker, then relay both ways.
+
+        ``first_message`` is the MqttConnect (fresh session) or ReConnect
+        (DCR splice) that opened the stream.
+        """
+        instance = self.instance
+        broker_ip = instance.context.broker_for_user(self.user_id)
+        if broker_ip is None:
+            self._refuse()
+            return
+        try:
+            self.broker_conn = yield from instance.conn_pool.checkout(
+                broker_ip, instance.context.broker_port)
+        except ConnectionRefusedSim:
+            self._refuse()
+            return
+        try:
+            self.broker_conn.send(first_message, size=120)
+        except (SocketClosedSim, ConnectionResetSim):
+            self._refuse()
+            return
+        instance.mqtt_tunnels[self.user_id] = self
+        instance.process.run(self._from_broker_loop())
+        yield from self._from_edge_loop()
+
+    def _refuse(self) -> None:
+        self.instance.counters.inc("origin_tunnel_refused")
+        if not self.stream.reset:
+            try:
+                self.stream.send(ConnectRefuse(self.user_id), size=32,
+                                 end_stream=True)
+            except H2Error:
+                pass
+        self.closed = True
+
+    # -- relays --------------------------------------------------------------------
+
+    def _from_edge_loop(self):
+        """Edge stream → broker conn (runs in the stream's serve task)."""
+        instance = self.instance
+        costs = instance.config.costs
+        while not self.closed:
+            frame = yield self.stream.recv()
+            if frame.type == FrameType.RST_STREAM or self.stream.reset:
+                self._teardown(close_broker=True)
+                return
+            message = frame.payload
+            yield from instance.host.cpu.execute(costs.relay_message)
+            if isinstance(message, MqttDisconnect) and frame.end_stream:
+                # Graceful hand-off (DCR re-home away from us) or client
+                # disconnect: stop relaying, release the broker conn.
+                self._teardown(close_broker=True)
+                return
+            if self.broker_conn is None or not self.broker_conn.alive:
+                instance.counters.inc("mqtt_broker_drop")
+                continue
+            self.broker_conn.send(message, size=frame.size)
+            if isinstance(message, MqttPublish):
+                instance.counters.inc("mqtt_publish_relayed_up")
+
+    def _from_broker_loop(self):
+        """Broker conn → edge stream."""
+        instance = self.instance
+        costs = instance.config.costs
+        while not self.closed:
+            item = yield self.broker_conn.recv()
+            if isinstance(item, StreamControl):
+                if not self.closed and not self.stream.reset:
+                    self.stream.rst()
+                self._teardown(close_broker=False)
+                return
+            message = item.payload
+            yield from instance.host.cpu.execute(costs.relay_message)
+            if self.stream.reset or self.closed:
+                instance.counters.inc("mqtt_edge_drop")
+                continue
+            try:
+                self.stream.send(message, size=item.size)
+            except H2Error:
+                instance.counters.inc("mqtt_edge_drop")
+                continue
+            if isinstance(message, MqttPublish):
+                instance.counters.inc("mqtt_publish_relayed_down")
+
+    # -- DCR solicitation ---------------------------------------------------------
+
+    def solicit_reconnect(self) -> None:
+        """Called when this Origin instance starts draining (§4.2 step A)."""
+        if self.closed or self.stream.reset:
+            return
+        try:
+            self.stream.send(
+                ReconnectSolicitation(self.instance.name), size=48)
+        except H2Error:
+            pass
+
+    def _teardown(self, close_broker: bool) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.instance.mqtt_tunnels.pop(self.user_id, None)
+        if close_broker and self.broker_conn is not None \
+                and self.broker_conn.alive:
+            self.broker_conn.close()

@@ -1,0 +1,86 @@
+"""Edge → Origin HTTP/2 connection management.
+
+Each Edge Proxygen keeps a long-lived HTTP/2 connection toward the
+Origin (§2.2) over which user requests and MQTT tunnels are multiplexed.
+When the Origin side drains it sends GOAWAY; the pool then dials a new
+connection (routed by the Origin's L4LB) for new streams while in-flight
+streams finish on the old one — the disruption-free path of §4.1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..netsim.addresses import Endpoint, FourTuple, Protocol
+from ..netsim.errors import ConnectionRefusedSim
+from ..protocols.http2 import GoAwayError, H2Connection, H2Error, H2Stream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .instance import ProxygenInstance
+
+__all__ = ["UpstreamPool", "UpstreamUnavailable"]
+
+
+class UpstreamUnavailable(Exception):
+    """No Origin backend reachable right now."""
+
+
+class UpstreamPool:
+    """Holds the current Edge→Origin H2 connection; redials on GOAWAY."""
+
+    def __init__(self, instance: "ProxygenInstance",
+                 origin_vip: Endpoint,
+                 origin_router: Callable[[FourTuple], Optional[str]],
+                 dial_retries: int = 3):
+        self.instance = instance
+        self.origin_vip = origin_vip
+        self.origin_router = origin_router
+        self.dial_retries = dial_retries
+        self.current: Optional[H2Connection] = None
+        self.dials = 0
+
+    def _usable(self, conn: Optional[H2Connection]) -> bool:
+        return (conn is not None and conn.alive
+                and not conn.goaway_received)
+
+    def open_stream(self):
+        """Generator: a fresh stream on a usable upstream connection.
+
+        Raises :class:`UpstreamUnavailable` after exhausting retries.
+        """
+        for _attempt in range(self.dial_retries + 1):
+            if not self._usable(self.current):
+                yield from self._dial()
+                if self.current is None:
+                    continue
+            try:
+                return self.current.open_stream()
+            except (GoAwayError, H2Error):
+                self.current = None
+        raise UpstreamUnavailable("could not reach any Origin proxy")
+
+    def _dial(self):
+        instance = self.instance
+        host = instance.host
+        # Route the new connection through the Origin's L4LB, exactly as
+        # a fresh flow would be.
+        probe_flow = FourTuple(
+            Protocol.TCP,
+            Endpoint(host.ip, host.kernel.ephemeral_port()),
+            self.origin_vip)
+        backend_ip = self.origin_router(probe_flow)
+        if backend_ip is None:
+            self.current = None
+            return
+        try:
+            endpoint = yield host.kernel.tcp_connect(
+                instance.process, self.origin_vip, via_ip=backend_ip)
+        except ConnectionRefusedSim:
+            instance.counters.inc("upstream_dial_refused")
+            self.current = None
+            return
+        self.dials += 1
+        conn = H2Connection(endpoint, role="client")
+        conn.start(instance.process)
+        self.current = conn
+        instance.counters.inc("upstream_dialed")

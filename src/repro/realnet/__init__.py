@@ -1,0 +1,22 @@
+"""Real-OS Socket Takeover: SCM_RIGHTS FD passing on a live Linux kernel.
+
+The simulation (:mod:`repro.netsim`) models the kernel semantics; this
+package exercises the real thing: framed JSON+FD messages over AF_UNIX
+(:mod:`.fd_passing`), the A–F takeover protocol (:mod:`.takeover`), and
+a runnable mini HTTP server that restarts with zero downtime
+(:mod:`.miniproxy`).
+"""
+
+from .fd_passing import MAX_FDS, recv_message, send_message
+from .miniproxy import MiniServer
+from .takeover import TakenOverSockets, TakeoverServer, request_takeover
+
+__all__ = [
+    "MAX_FDS",
+    "recv_message",
+    "send_message",
+    "MiniServer",
+    "TakenOverSockets",
+    "TakeoverServer",
+    "request_takeover",
+]

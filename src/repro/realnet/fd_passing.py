@@ -1,0 +1,71 @@
+"""Real-OS SCM_RIGHTS file-descriptor passing (Linux).
+
+This is the live counterpart of the simulated takeover channel: a tiny
+framed protocol over ``AF_UNIX`` sockets that sends a JSON payload plus
+an array of file descriptors as ancillary data, using Python's
+``socket.send_fds`` / ``socket.recv_fds`` (which wrap
+``sendmsg``/``recvmsg`` with ``SCM_RIGHTS`` exactly as §4.1 describes).
+
+Framing: 4-byte big-endian payload length, then the UTF-8 JSON payload.
+FDs ride with the *first* byte of each message.
+"""
+
+from __future__ import annotations
+
+import array
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+__all__ = ["send_message", "recv_message", "MAX_FDS"]
+
+#: Upper bound on FDs per message (kernel SCM_MAX_FD is 253).
+MAX_FDS = 253
+
+_LENGTH = struct.Struct("!I")
+
+
+def send_message(sock: socket.socket, payload: Any,
+                 fds: tuple[int, ...] = ()) -> None:
+    """Send ``payload`` (JSON-serializable) plus ``fds`` over ``sock``."""
+    if len(fds) > MAX_FDS:
+        raise ValueError(f"cannot pass more than {MAX_FDS} fds at once")
+    body = json.dumps(payload).encode("utf-8")
+    header = _LENGTH.pack(len(body))
+    if fds:
+        # Ancillary data must accompany at least one byte of real data;
+        # attach it to the header+body in one sendmsg.
+        socket.send_fds(sock, [header + body], list(fds))
+    else:
+        sock.sendall(header + body)
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                initial: bytes = b"") -> bytes:
+    data = initial
+    while len(data) < count:
+        piece = sock.recv(count - len(data))
+        if not piece:
+            raise ConnectionError("peer closed during message")
+        data += piece
+    return data
+
+
+def recv_message(sock: socket.socket,
+                 max_fds: int = MAX_FDS) -> tuple[Any, list[int]]:
+    """Receive one message; returns ``(payload, fds)``.
+
+    The received FDs are fresh descriptor numbers in this process
+    referring to the sender's open file descriptions (dup semantics).
+    """
+    buffered, fds, _flags, _addr = socket.recv_fds(sock, 64 * 1024, max_fds)
+    if not buffered:
+        raise ConnectionError("peer closed before message")
+    header = _recv_exact(sock, _LENGTH.size,
+                         initial=buffered[:_LENGTH.size])
+    (length,) = _LENGTH.unpack(header[:_LENGTH.size])
+    # The protocol is strict request/response lockstep, so whatever we
+    # buffered beyond the header belongs to this message's body.
+    body = _recv_exact(sock, length, initial=buffered[_LENGTH.size:])
+    return json.loads(body[:length].decode("utf-8")), list(fds)

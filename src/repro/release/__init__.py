@@ -1,0 +1,23 @@
+"""Release engineering: rolling orchestration and schedule modelling."""
+
+from .orchestrator import BatchRecord, RollingRelease, RollingReleaseConfig
+from .schedule import (
+    L7LB_ROOT_CAUSES,
+    ReleaseEvent,
+    ReleaseScheduleModel,
+    ReleaseTrace,
+    ReleaseTraceConfig,
+    completion_time_model,
+)
+
+__all__ = [
+    "BatchRecord",
+    "RollingRelease",
+    "RollingReleaseConfig",
+    "L7LB_ROOT_CAUSES",
+    "ReleaseEvent",
+    "ReleaseScheduleModel",
+    "ReleaseTrace",
+    "ReleaseTraceConfig",
+    "completion_time_model",
+]

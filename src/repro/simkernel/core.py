@@ -1,0 +1,162 @@
+"""The simulation :class:`Environment`: clock, event queue, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from .events import (
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class StopSimulation(Exception):
+    """Raised to stop :meth:`Environment.run` from within a callback."""
+
+
+class Environment:
+    """A deterministic discrete-event simulation environment.
+
+    Time is a monotonically non-decreasing float (we use seconds by
+    convention throughout this project).  All state mutation happens inside
+    event callbacks, which are executed in (time, priority, insertion)
+    order, so simulations are fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (or ``None``)."""
+        return self._active_process
+
+    # -- event creation ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Condition event that triggers once all ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Condition event that triggers once any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Schedule ``event`` to be processed after ``delay``."""
+        if delay < 0:
+            raise ValueError(f"Negative delay {delay}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            value = event._value
+            if isinstance(value, BaseException):
+                raise value
+            raise SimulationError(f"Event failed with non-exception: {value!r}")
+
+    # -- run loop ------------------------------------------------------------
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulation time), or an :class:`Event` (run until
+        that event is processed, returning its value).
+        """
+        stop_at: Optional[float] = None
+        stop_event: Optional[Event] = None
+
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    return stop_event.value
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                stop_at = float(until)
+                if stop_at <= self._now:
+                    raise ValueError(
+                        f"until ({stop_at}) must be greater than now ({self._now})")
+
+        try:
+            while True:
+                if stop_at is not None and self.peek() > stop_at:
+                    self._now = stop_at
+                    break
+                try:
+                    self.step()
+                except EmptySchedule:
+                    if stop_at is not None:
+                        self._now = stop_at
+                    break
+        except StopSimulation as stop:
+            event = stop.args[0]
+            if not event._ok:
+                # The awaited event failed: surface its exception.
+                raise event._value
+            return event._value
+
+        if stop_event is not None and stop_event.callbacks is not None:
+            raise SimulationError(
+                "Simulation ended before the awaited event was triggered")
+        if stop_event is not None:
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        event._defused = True
+        raise StopSimulation(event)

@@ -1,0 +1,369 @@
+"""Core event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic generator-coroutine style popularized by
+SimPy: simulation *processes* are Python generators that ``yield`` events
+(timeouts, queue operations, other processes) and are resumed by the
+:class:`~repro.simkernel.core.Environment` when those events trigger.
+
+Everything here is deterministic: given the same seed streams and the same
+sequence of scheduled events, a simulation replays identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class _Pending:
+    """Sentinel for "this event has no value yet"."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<PENDING>"
+
+
+#: Sentinel value stored in an event before it is triggered.
+PENDING = _Pending()
+
+#: Scheduling priority for process resumptions (served first at equal time).
+URGENT = 0
+#: Scheduling priority for ordinary events such as timeouts.
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupt ``cause`` is available both as ``exc.cause`` and as
+    ``exc.args[0]``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The value passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event starts *untriggered*, becomes *triggered* when it gets a value
+    (via :meth:`succeed` or :meth:`fail`) and is scheduled, and becomes
+    *processed* after the environment has run its callbacks.
+    """
+
+    def __init__(self, env: "Environment"):  # noqa: F821 - forward ref
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has a value and is scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("Event has not yet been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is PENDING:
+            raise SimulationError("Event has not yet been triggered")
+        return self._value
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled so the kernel will not re-raise."""
+        self._defused = True
+        return self
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (chaining)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self, priority=NORMAL)
+
+    # -- composition ---------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_event, [self, other])
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"Negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, priority=NORMAL, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+
+class Initialize(Event):
+    """Internal event used to start a new :class:`Process`."""
+
+    def __init__(self, env: "Environment", process: "Process"):  # noqa: F821
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the events it yields.
+
+    A process is itself an event: it triggers with the generator's return
+    value when the generator finishes, or fails with the exception the
+    generator raised.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):  # noqa: F821
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` until the generator has finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        Interrupting a dead process, or a process from within itself, is an
+        error.  The interrupt is delivered at the current simulation time
+        with urgent priority.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("A process is not allowed to interrupt itself")
+        # Detach from whatever we were waiting on, so that the old target
+        # does not resume us a second time once it triggers.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            # Withdraw queue registrations (store gets etc.): a dead
+            # waiter must not consume an item that arrives later.
+            cancel = getattr(self._target, "cancel", None)
+            if cancel is not None:
+                cancel()
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env.schedule(event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        if not self.is_alive:
+            # Already finished (e.g. the event we once waited on fires after
+            # an interrupt ended us).  Nothing to do.
+            return
+        self.env._active_process = self
+        while True:
+            if event._ok:
+                try:
+                    next_target = self._generator.send(event._value)
+                except StopIteration as stop:
+                    self._finish(True, stop.value)
+                    break
+                except BaseException as exc:
+                    self._finish(False, exc)
+                    break
+            else:
+                # The event failed: throw the exception into the generator.
+                event._defused = True
+                try:
+                    next_target = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._finish(True, stop.value)
+                    break
+                except BaseException as exc:
+                    if isinstance(exc, Interrupt) and exc is event._value:
+                        # An uncaught interrupt cancels the process quietly
+                        # (the asyncio.CancelledError convention): process
+                        # teardown interrupts every task of an exiting OS
+                        # process and most tasks have nothing to clean up.
+                        self._finish(True, None)
+                        break
+                    self._finish(False, exc)
+                    break
+
+            if not isinstance(next_target, Event):
+                exc = SimulationError(
+                    f"Process yielded a non-event: {next_target!r}")
+                try:
+                    event = Event(self.env)
+                    event._ok = False
+                    event._value = exc
+                    event._defused = True
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._finish(True, stop.value)
+                except BaseException as err:
+                    self._finish(False, err)
+                break
+
+            if next_target.callbacks is not None:
+                # Target not yet processed: park until it triggers.
+                next_target.callbacks.append(self._resume)
+                self._target = next_target
+                break
+            # Target already processed: loop immediately with its value.
+            event = next_target
+
+        self.env._active_process = None
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._ok = ok
+        self._value = value
+        if not ok and isinstance(value, BaseException):
+            # Will be re-raised by the environment if nobody handles it.
+            pass
+        self.env.schedule(self, priority=NORMAL)
+        self._target = None
+
+
+class Condition(Event):
+    """An event that triggers when a predicate over child events holds."""
+
+    def __init__(self, env: "Environment", evaluate: Callable, events: Iterable[Event]):  # noqa: F821
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("Condition spans multiple environments")
+
+        if not self._events:
+            self.succeed({})
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_event(events: list[Event], count: int) -> bool:
+        return count > 0 or not events
+
+    def _collect_values(self) -> dict[Event, Any]:
+        return {e: e._value for e in self._events if e.callbacks is None and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                # The race is over but a late loser failed: absorb it so
+                # the kernel does not treat it as an unhandled error.
+                event._defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Triggers once *all* of ``events`` have succeeded."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):  # noqa: F821
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Triggers once *any* of ``events`` has succeeded."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):  # noqa: F821
+        super().__init__(env, Condition.any_event, events)

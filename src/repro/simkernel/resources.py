@@ -1,0 +1,253 @@
+"""Shared-resource primitives: stores (queues) and capacity resources.
+
+These cover all the coordination patterns the network simulation needs:
+
+* :class:`Store` — an unbounded/bounded FIFO of items (socket receive
+  queues, accept queues, message mailboxes).
+* :class:`FilterStore` — a store whose consumers can wait for items
+  matching a predicate (e.g. a specific connection's packets).
+* :class:`Resource` — a counted resource with FIFO waiters (CPU cores).
+* :class:`Container` — a continuous quantity (memory bytes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .core import Environment
+from .events import Event, SimulationError
+
+__all__ = ["Store", "FilterStore", "Resource", "Container", "StorePutEvent",
+           "StoreGetEvent", "ResourceRequest"]
+
+
+class StorePutEvent(Event):
+    """Event returned by :meth:`Store.put`; succeeds when the item is stored."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGetEvent(Event):
+    """Event returned by :meth:`Store.get`; succeeds with the item."""
+
+    def __init__(self, store: "Store", filter_fn: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.filter_fn = filter_fn
+        store._get_queue.append(self)
+        store._trigger()
+
+    def cancel(self) -> None:
+        """Withdraw this get request if it has not yet been fulfilled."""
+        if not self.triggered:
+            self._cancelled = True
+
+
+class Store:
+    """A FIFO store of items with optional capacity.
+
+    ``put`` blocks (i.e. the returned event stays untriggered) while the
+    store is full; ``get`` blocks while it is empty.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._put_queue: list[StorePutEvent] = []
+        self._get_queue: list[StoreGetEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePutEvent:
+        """Queue ``item`` for storage; returns an event."""
+        return StorePutEvent(self, item)
+
+    def get(self) -> StoreGetEvent:
+        """Request the next item; returns an event."""
+        return StoreGetEvent(self)
+
+    def try_get(self) -> Any:
+        """Synchronously pop the next item, or ``None`` if empty."""
+        if self.items:
+            item = self.items.pop(0)
+            self._trigger()
+            return item
+        return None
+
+    # -- internal -----------------------------------------------------------
+
+    def _match(self, event: StoreGetEvent) -> Optional[int]:
+        """Index of the first item satisfying ``event``, or ``None``."""
+        if event.filter_fn is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if event.filter_fn(item):
+                return i
+        return None
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit pending puts while there is room.
+            while self._put_queue and len(self.items) < self.capacity:
+                put_event = self._put_queue.pop(0)
+                self.items.append(put_event.item)
+                put_event.succeed()
+                progressed = True
+            # Serve pending gets that have a matching item.
+            remaining: list[StoreGetEvent] = []
+            for get_event in self._get_queue:
+                if getattr(get_event, "_cancelled", False):
+                    progressed = True
+                    continue
+                idx = self._match(get_event)
+                if idx is None:
+                    remaining.append(get_event)
+                else:
+                    item = self.items.pop(idx)
+                    get_event.succeed(item)
+                    progressed = True
+            self._get_queue = remaining
+
+
+class FilterStore(Store):
+    """A store whose consumers may wait for items matching a predicate."""
+
+    def get(self, filter_fn: Optional[Callable[[Any], bool]] = None) -> StoreGetEvent:
+        return StoreGetEvent(self, filter_fn)
+
+
+class ResourceRequest(Event):
+    """A request for one unit of a :class:`Resource`.
+
+    Usable as a context manager inside a process::
+
+        with cpu.request() as req:
+            yield req
+            yield env.timeout(work)
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self._released = False
+        resource._queue.append(self)
+        resource._trigger()
+
+    def release(self) -> None:
+        """Release the unit held (or withdraw the pending request)."""
+        if self._released:
+            return
+        self._released = True
+        self.resource._release(self)
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class Resource:
+    """A counted resource (e.g. CPU cores) with FIFO waiters."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[ResourceRequest] = []
+        self._queue: list[ResourceRequest] = []
+
+    @property
+    def count(self) -> int:
+        """Number of units currently in use."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests still waiting."""
+        return len(self._queue)
+
+    def request(self) -> ResourceRequest:
+        """Request one unit; returns an event that succeeds on grant."""
+        return ResourceRequest(self)
+
+    def _release(self, request: ResourceRequest) -> None:
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self._queue:
+            self._queue.remove(request)
+        self._trigger()
+
+    def _trigger(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            request = self._queue.pop(0)
+            self.users.append(request)
+            request.succeed()
+
+
+class Container:
+    """A continuous quantity with blocking get/put (e.g. memory, tokens)."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._put_queue: list[tuple[Event, float]] = []
+        self._get_queue: list[tuple[Event, float]] = []
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks while it would exceed capacity."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.env)
+        self._put_queue.append((event, amount))
+        self._trigger()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; blocks while the level is insufficient."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.env)
+        self._get_queue.append((event, amount))
+        self._trigger()
+        return event
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue:
+                event, amount = self._put_queue[0]
+                if self._level + amount <= self.capacity:
+                    self._put_queue.pop(0)
+                    self._level += amount
+                    event.succeed()
+                    progressed = True
+            if self._get_queue:
+                event, amount = self._get_queue[0]
+                if self._level >= amount:
+                    self._get_queue.pop(0)
+                    self._level -= amount
+                    event.succeed(amount)
+                    progressed = True

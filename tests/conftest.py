@@ -1,0 +1,29 @@
+"""Shared fixtures for netsim tests: a two-host world."""
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.netsim import Host, LinkProfile, Network
+from repro.simkernel import Environment, RandomStreams
+
+
+class World:
+    """A small test world: environment, network, and helper factories."""
+
+    def __init__(self, seed: int = 0):
+        self.env = Environment()
+        self.streams = RandomStreams(seed)
+        self.metrics = MetricsRegistry()
+        self.network = Network(self.env, self.streams,
+                               default_profile=LinkProfile(latency=0.001))
+        self._ip = 0
+
+    def host(self, name: str, site: str = "dc") -> Host:
+        self._ip += 1
+        return Host(self.env, self.network, name, f"10.0.0.{self._ip}",
+                    site, self.metrics, streams=self.streams.fork(name))
+
+
+@pytest.fixture
+def world():
+    return World()

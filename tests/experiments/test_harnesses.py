@@ -1,0 +1,107 @@
+"""Experiment harness smoke tests (scaled-down parameters).
+
+The full-size paper-shape assertions live in ``benchmarks/``; here we
+verify the harnesses run, produce sane structures, and that the cheap
+ones hold their claims even at reduced scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    fig02_release_cadence,
+    fig02d_misrouting,
+    fig03_restart_implications,
+    fig09_dcr,
+    fig10_udp_routing,
+    fig11_ppr,
+    fig15_release_hours,
+    fig16_completion_time,
+)
+
+
+def test_registry_covers_every_figure():
+    expected = {"fig02", "fig02d", "fig03", "fig08", "fig09", "fig10",
+                "fig11", "fig12", "fig13", "fig15", "fig16", "fig17"}
+    assert set(ALL_EXPERIMENTS) == expected
+    for module in ALL_EXPERIMENTS.values():
+        assert hasattr(module, "run")
+
+
+def test_result_rows_and_printing(capsys):
+    result = ExperimentResult(name="demo", params={"x": 1},
+                              scalars={"y": 2.0}, claims={"ok": True})
+    result.print()
+    out = capsys.readouterr().out
+    assert "demo" in out and "PASS" in out
+    assert result.all_claims_hold
+    result.claims["bad"] = False
+    assert not result.all_claims_hold
+
+
+def test_fig02_small_trace_claims_hold():
+    # Mid-sized trace: large enough for the Poisson means to settle.
+    result = fig02_release_cadence.run(seed=3, weeks=13, clusters=8)
+    assert result.all_claims_hold
+    assert result.series["l7lb_weekly_sorted"]
+
+
+def test_fig02_deterministic():
+    a = fig02_release_cadence.run(seed=9, weeks=4, clusters=3)
+    b = fig02_release_cadence.run(seed=9, weeks=4, clusters=3)
+    assert a.scalars == b.scalars
+
+
+def test_fig02d_small_claims_hold():
+    result = fig02d_misrouting.run(seed=1, flows=40, duration=10.0,
+                                   restart_at=4.0, old_exit_at=7.0)
+    assert result.all_claims_hold
+    assert result.scalars["misrouted_fd_passing_total"] == 0
+
+
+def test_fig03a_capacity_small():
+    result = fig03_restart_implications.run_capacity(
+        seed=2, edge_proxies=5, batch_fraction=0.2, drain=5.0, gap=2.0)
+    assert result.all_claims_hold
+    assert result.scalars["min_capacity_during_release"] <= 0.85
+
+
+def test_fig09_small_arms_differ():
+    with_dcr = fig09_dcr.run_arm(True, seed=4, users=16, warmup=15.0,
+                                 measure=30.0, drain=6.0)
+    without = fig09_dcr.run_arm(False, seed=4, users=16, warmup=15.0,
+                                measure=30.0, drain=6.0)
+    assert with_dcr["sessions_broken"] < without["sessions_broken"]
+    assert with_dcr["rehomed"] > 0
+    assert without["rehomed"] == 0
+
+
+def test_fig10_small_arms_differ():
+    zdr = fig10_udp_routing.run_arm(True, seed=4, flows=20, warmup=10.0,
+                                    measure=25.0, drain=15.0)
+    traditional = fig10_udp_routing.run_arm(False, seed=4, flows=20,
+                                            warmup=10.0, measure=25.0,
+                                            drain=15.0)
+    assert traditional["misrouted_total"] > zdr["misrouted_total"]
+    assert zdr["forwarded_total"] > 0
+
+
+def test_fig11_small():
+    result = fig11_ppr.run(seed=6, restarts=3)
+    assert result.scalars["ppr_rescued_total"] >= 1
+    assert result.scalars["ppr_client_post_errors"] == 0
+
+
+def test_fig15_claims_hold_small():
+    result = fig15_release_hours.run(seed=2, weeks=6, clusters=4)
+    assert result.all_claims_hold
+
+
+def test_fig16_model_claims_hold():
+    result = fig16_completion_time.run(seed=1, samples=50)
+    assert result.all_claims_hold
+    crosscheck = fig16_completion_time.run_des_crosscheck(
+        seed=1, edge_proxies=3, drain=4.0)
+    assert crosscheck.all_claims_hold
+    assert crosscheck.scalars["relative_error"] < 0.2

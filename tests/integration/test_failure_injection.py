@@ -1,0 +1,128 @@
+"""Failure injection: the system degrades gracefully, never wedges."""
+
+import pytest
+
+from repro.clients import MqttWorkloadConfig, QuicWorkloadConfig, WebWorkloadConfig
+from repro.netsim import LinkProfile
+from repro.proxygen import ProxygenConfig
+from tests.integration.test_deployment_smoke import small_spec
+from repro import Deployment
+
+
+def test_lossy_wan_degrades_quic_but_not_wedges():
+    dep = Deployment(small_spec(web_workload=None, mqtt_workload=None,
+                                quic_workload=QuicWorkloadConfig(
+                                    flows_per_host=8,
+                                    packet_interval=0.3)))
+    # Inject 20% loss on the client↔edge WAN.
+    dep.network.add_profile("client", "edge", LinkProfile(
+        latency=0.04, jitter=0.02, bandwidth=2.5e6, loss=0.20))
+    dep.start()
+    dep.run(until=40)
+    clients = dep.metrics.scoped_counters("quic-clients")
+    sent = clients.get("packets_sent")
+    acked = clients.get("packets_acked")
+    lost = clients.get("packets_lost")
+    assert sent > 200
+    assert lost > 0.1 * sent           # loss hurts...
+    assert acked > 0.4 * sent          # ...but traffic keeps flowing
+    assert clients.get("connections_reestablished") > 0
+
+
+def test_broker_crash_breaks_sessions_then_recovery():
+    dep = Deployment(small_spec(web_workload=None, quic_workload=None,
+                                mqtt_workload=MqttWorkloadConfig(
+                                    users_per_host=12,
+                                    publish_interval=2.0)))
+    dep.start()
+    dep.run(until=20)
+    broker = dep.brokers[0]
+    sessions_before = len(broker.sessions)
+    assert sessions_before >= 12
+    # The broker process dies; every relay conn gets RST.
+    broker.process.exit("broker crash")
+    dep.run(until=30)
+    clients = dep.metrics.scoped_counters("mqtt-clients")
+    assert clients.get("session_broken") + clients.get(
+        "connect_failed") > 0
+    # Bring the broker back: clients re-establish.
+    broker.start()
+    dep.run(until=55)
+    assert len(broker.sessions) >= 10
+    assert clients.get("reconnects") > 0
+
+
+def test_whole_origin_tier_down_fails_requests_cleanly():
+    dep = Deployment(small_spec(
+        mqtt_workload=None, quic_workload=None,
+        web_workload=WebWorkloadConfig(clients_per_host=8, think_time=1.0,
+                                       cacheable_fraction=0.5)))
+    dep.start()
+    dep.run(until=15)
+    for server in dep.origin_servers:
+        server.active_instance.shutdown("datacenter incident")
+    dep.run(until=35)
+    clients = dep.metrics.scoped_counters("web-clients")
+    # Cacheable content still served from the edge...
+    ok_after = clients.get("get_ok")
+    assert ok_after > 0
+    # ...dynamic requests fail with 500s, not hangs.
+    errors = clients.get("get_error") + clients.get("post_error")
+    assert errors > 0
+    aborts = sum(s.counters.get("client_error", tag="stream_abort")
+                 for s in dep.edge_servers)
+    assert aborts > 0
+
+
+def test_concurrent_releases_of_every_tier():
+    """Release edge, origin AND app tiers simultaneously under load —
+    the messiest realistic push — and verify convergence."""
+    from repro import RollingRelease, RollingReleaseConfig
+    from repro.appserver import AppServerConfig
+    dep = Deployment(small_spec(
+        edge_config=ProxygenConfig(mode="edge", drain_duration=8.0,
+                                   spawn_delay=1.0),
+        origin_config=ProxygenConfig(mode="origin", drain_duration=8.0,
+                                     spawn_delay=1.0),
+        app_config=AppServerConfig(drain_duration=2.0,
+                                   restart_downtime=2.0)))
+    dep.start()
+    dep.run(until=20)
+    for tier in (dep.edge_servers, dep.origin_servers, dep.app_servers):
+        release = RollingRelease(dep.env, tier,
+                                 RollingReleaseConfig(batch_fraction=0.5))
+        dep.env.process(release.execute())
+    dep.run(until=90)
+    # Everything converged to the next generation and keeps serving.
+    assert all(s.releases_completed == 1 for s in dep.edge_servers)
+    assert all(s.releases_completed == 1 for s in dep.origin_servers)
+    assert all(s.generation == 2 and s.accepting for s in dep.app_servers)
+    assert len(dep.edge_katran.healthy_backends()) == 3
+    clients = dep.metrics.scoped_counters("web-clients")
+    ok = clients.get("get_ok") + clients.get("post_ok")
+    assert ok > 100
+
+
+def test_repeated_back_to_back_releases_do_not_leak():
+    """Five consecutive ZDR releases: instance counts, tunnels and FD
+    tables must not accumulate."""
+    dep = Deployment(small_spec(
+        quic_workload=None,
+        edge_config=ProxygenConfig(mode="edge", drain_duration=3.0,
+                                   spawn_delay=0.5)))
+    dep.start()
+    dep.run(until=15)
+    target = dep.edge_servers[0]
+    for _ in range(5):
+        done = dep.env.process(target.release())
+        dep.env.run(until=done)
+        dep.run(until=dep.env.now + 6)
+    assert target.active_instance.generation == 6
+    assert target.instance_count == 1
+    # The host's process table holds exactly one live proxygen process.
+    live = [p for p in target.host.live_processes()
+            if p.name.startswith("proxygen")]
+    assert len(live) == 1
+    # And its FD table holds only the expected sockets:
+    # 2 TCP listeners + 4 UDP ring sockets + 1 forward socket.
+    assert len(live[0].fd_table) <= 2 + 4 + 1 + 4  # + accepted conns slack

@@ -1,0 +1,72 @@
+"""QUIC flows through an edge ZDR restart in the full deployment."""
+
+import pytest
+
+from repro import Deployment, DeploymentSpec
+from repro.clients import QuicWorkloadConfig
+from repro.proxygen import ProxygenConfig
+
+
+def build(cid_routing: bool, seed=31):
+    spec = DeploymentSpec(
+        seed=seed,
+        edge_proxies=3, origin_proxies=2, app_servers=2, brokers=1,
+        edge_config=ProxygenConfig(mode="edge", drain_duration=20.0,
+                                   enable_takeover=True,
+                                   enable_cid_routing=cid_routing,
+                                   spawn_delay=1.0),
+        web_workload=None, mqtt_workload=None,
+        quic_workload=QuicWorkloadConfig(
+            flows_per_host=15, packet_interval=0.25, loss_threshold=6,
+            mean_packets_per_connection=16.0))
+    dep = Deployment(spec)
+    dep.start()
+    return dep
+
+
+def test_quic_flows_survive_takeover_via_cid_routing():
+    dep = build(cid_routing=True)
+    dep.run(until=15)
+    target = dep.edge_servers[0]
+    done = dep.env.process(target.release())
+    dep.env.run(until=done)
+    dep.run(until=45)
+    clients = dep.metrics.scoped_counters("quic-clients")
+    sent = clients.get("packets_sent")
+    acked = clients.get("packets_acked")
+    assert sent > 300
+    # Old flows keep being served (user-space forwarded to the drainer).
+    forwarded = target.counters.get("udp_forwarded_to_sibling")
+    assert forwarded > 0
+    assert target.counters.get("udp_misrouted") == 0
+    assert acked / sent > 0.97
+
+
+def test_quic_flows_lose_packets_without_cid_routing():
+    dep = build(cid_routing=False)
+    dep.run(until=15)
+    target = dep.edge_servers[0]
+    done = dep.env.process(target.release())
+    dep.env.run(until=done)
+    dep.run(until=45)
+    misrouted = target.counters.get("udp_misrouted")
+    assert misrouted > 5
+    clients = dep.metrics.scoped_counters("quic-clients")
+    assert clients.get("packets_lost") >= misrouted * 0.5
+
+
+def test_both_instances_share_quic_load_during_drain():
+    """During the drain: new flows owned by gen2, old flows still
+    served by gen1 — packet counts visible on both state tables."""
+    dep = build(cid_routing=True)
+    dep.run(until=15)
+    target = dep.edge_servers[0]
+    done = dep.env.process(target.release())
+    dep.env.run(until=done)
+    dep.run(until=dep.env.now + 4)   # mid-drain
+    old = target.draining_instance
+    new = target.active_instance
+    assert old is not None and old.alive
+    assert len(old.quic_states) > 0      # old flows still resident
+    # New flows were created at the new instance.
+    assert len(new.quic_states) > 0

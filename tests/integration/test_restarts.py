@@ -1,0 +1,223 @@
+"""Restart-behaviour integration tests: the paper's core claims.
+
+Each test builds a small deployment, lets it warm up, restarts part of
+a tier with a given strategy, and checks the mechanism-level outcome.
+"""
+
+import pytest
+
+from repro import Deployment, DeploymentSpec, RollingRelease, RollingReleaseConfig
+from repro.clients import (
+    MqttWorkloadConfig,
+    QuicWorkloadConfig,
+    WebWorkloadConfig,
+)
+from repro.proxygen import ProxygenConfig
+
+
+def build(edge_config=None, origin_config=None, app_config=None,
+          seed=11, **spec_overrides):
+    defaults = dict(
+        seed=seed,
+        edge_proxies=3,
+        origin_proxies=2,
+        app_servers=3,
+        brokers=1,
+        web_client_hosts=1,
+        mqtt_client_hosts=1,
+        quic_client_hosts=1,
+        web_workload=WebWorkloadConfig(clients_per_host=8, think_time=1.0,
+                                       post_fraction=0.1),
+        mqtt_workload=MqttWorkloadConfig(users_per_host=10,
+                                         publish_interval=3.0),
+        quic_workload=QuicWorkloadConfig(flows_per_host=6,
+                                         packet_interval=0.4),
+        edge_config=edge_config,
+        origin_config=origin_config,
+        app_config=app_config,
+    )
+    defaults.update(spec_overrides)
+    dep = Deployment(DeploymentSpec(**defaults))
+    dep.start()
+    return dep
+
+
+def zdr_config(mode, drain=15.0):
+    return ProxygenConfig(mode=mode, drain_duration=drain,
+                          enable_takeover=True, spawn_delay=1.0)
+
+
+def hard_config(mode, drain=8.0):
+    # The traditional baseline: no takeover and none of the ZDR
+    # mechanisms (DCR is part of the framework being compared).
+    return ProxygenConfig(mode=mode, drain_duration=drain,
+                          enable_takeover=False, enable_dcr=False,
+                          spawn_delay=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Socket Takeover on the edge
+# ---------------------------------------------------------------------------
+
+def test_zdr_edge_restart_is_invisible_to_katran():
+    dep = build(edge_config=zdr_config("edge"))
+    dep.run(until=20)
+    target = dep.edge_servers[0]
+    down_before = dep.edge_katran.counters.get("backend_down")
+    release = dep.env.process(target.release())
+    dep.env.run(until=60)
+    assert target.releases_completed == 1
+    # Takeover keeps health checks green throughout: no backend_down.
+    assert dep.edge_katran.counters.get("backend_down") == down_before
+    assert len(dep.edge_katran.healthy_backends()) == 3
+
+
+def test_hard_edge_restart_fails_health_checks():
+    dep = build(edge_config=hard_config("edge"))
+    dep.run(until=20)
+    target = dep.edge_servers[0]
+    dep.env.process(target.release())
+    dep.env.run(until=26)  # mid-drain
+    assert target.host.ip not in dep.edge_katran.healthy_backends()
+    dep.env.run(until=70)  # new generation up, HC recovered
+    assert target.host.ip in dep.edge_katran.healthy_backends()
+
+
+def test_zdr_two_instances_overlap_then_one():
+    dep = build(edge_config=zdr_config("edge", drain=10.0))
+    dep.run(until=20)
+    target = dep.edge_servers[0]
+    dep.env.process(target.release())
+    dep.env.run(until=24)   # inside the drain window
+    assert target.instance_count == 2
+    dep.env.run(until=45)   # drain over
+    assert target.instance_count == 1
+    assert target.active_instance.generation == 2
+
+
+def test_zdr_repeated_releases():
+    """Takeover must be repeatable: gen1 -> gen2 -> gen3."""
+    dep = build(edge_config=zdr_config("edge", drain=5.0))
+    dep.run(until=15)
+    target = dep.edge_servers[0]
+    for _ in range(2):
+        done = dep.env.process(target.release())
+        dep.env.run(until=done)
+        dep.run(until=dep.env.now + 10)
+    assert target.releases_completed == 2
+    assert target.active_instance.generation == 3
+    assert target.instance_count == 1
+
+
+def test_zdr_client_errors_far_fewer_than_hard():
+    """Fig 12's direction: traditional restarts produce many more
+    client-visible errors than Zero Downtime Release."""
+    def run_arm(config_factory):
+        dep = build(edge_config=config_factory("edge"), seed=13)
+        dep.run(until=20)
+        release = RollingRelease(
+            dep.env, dep.edge_servers,
+            RollingReleaseConfig(batch_fraction=0.34))
+        dep.env.process(release.execute())
+        dep.run(until=120)
+        clients = dep.metrics.scoped_counters("web-clients")
+        mqtt = dep.metrics.scoped_counters("mqtt-clients")
+        errors = (clients.get("get_conn_reset")
+                  + clients.get("post_conn_reset")
+                  + clients.get("get_timeout") + clients.get("post_timeout")
+                  + clients.get("get_error") + clients.get("post_error")
+                  + clients.get("connect_refused")
+                  + clients.get("connect_timeout")
+                  + mqtt.get("session_broken"))
+        return errors
+
+    zdr_errors = run_arm(zdr_config)
+    hard_errors = run_arm(hard_config)
+    assert hard_errors > zdr_errors
+    assert hard_errors >= 3 * max(zdr_errors, 1)
+
+
+# ---------------------------------------------------------------------------
+# DCR: MQTT across origin restarts
+# ---------------------------------------------------------------------------
+
+def _mqtt_session_breaks(dep, with_dcr: bool, until=90):
+    dep.run(until=20)
+    release = RollingRelease(dep.env, dep.origin_servers,
+                             RollingReleaseConfig(batch_fraction=0.5))
+    dep.env.process(release.execute())
+    dep.run(until=until)
+    clients = dep.metrics.scoped_counters("mqtt-clients")
+    return clients.get("session_broken"), clients.get("reconnects")
+
+
+def test_dcr_keeps_mqtt_sessions_alive():
+    dep = build(origin_config=ProxygenConfig(
+        mode="origin", drain_duration=10.0, enable_takeover=True,
+        enable_dcr=True, spawn_delay=1.0), seed=17)
+    broken, _ = _mqtt_session_breaks(dep, with_dcr=True)
+    rehomed = sum(s.counters.get("dcr_rehomed") for s in dep.edge_servers)
+    assert rehomed >= 5          # tunnels actually moved
+    assert broken <= 2           # virtually nobody lost their session
+
+
+def test_without_dcr_sessions_break_and_reconnect():
+    dep = build(origin_config=ProxygenConfig(
+        mode="origin", drain_duration=10.0, enable_takeover=True,
+        enable_dcr=False, spawn_delay=1.0), seed=17)
+    broken, reconnects = _mqtt_session_breaks(dep, with_dcr=False)
+    assert broken >= 5           # drains kill the tunnels
+    assert reconnects >= 5       # the reconnect storm of Fig 9
+    connacks = sum(b.counters.get("mqtt_connack_sent")
+                   for b in dep.brokers)
+    assert connacks >= 15        # initial connects + re-connects
+
+
+# ---------------------------------------------------------------------------
+# PPR: long POSTs across app-server restarts
+# ---------------------------------------------------------------------------
+
+def _post_heavy_build(enable_ppr: bool, seed=23):
+    from repro.appserver import AppServerConfig
+    return build(
+        app_config=AppServerConfig(drain_duration=2.0,
+                                   restart_downtime=3.0,
+                                   enable_ppr=enable_ppr),
+        web_workload=WebWorkloadConfig(
+            clients_per_host=10, think_time=1.0, post_fraction=0.8,
+            post_size_min=400_000, post_size_cap=3_000_000,
+            upload_bandwidth=150_000.0),
+        mqtt_workload=None, quic_workload=None, seed=seed)
+
+
+def test_ppr_rescues_inflight_posts():
+    dep = _post_heavy_build(enable_ppr=True)
+    dep.run(until=25)
+    # Restart every app server in quick batches while uploads run.
+    release = RollingRelease(dep.env, dep.app_servers,
+                             RollingReleaseConfig(batch_fraction=0.34))
+    dep.env.process(release.execute())
+    dep.run(until=90)
+    rescued = sum(s.counters.get("ppr_379_received")
+                  for s in dep.origin_servers)
+    disrupted = sum(s.counters.get("post_disrupted")
+                    for s in dep.origin_servers)
+    assert rescued >= 1          # 379s flowed and were replayed
+    assert disrupted == 0        # nobody saw a 500
+    clients = dep.metrics.scoped_counters("web-clients")
+    assert clients.get("post_error") == 0
+
+
+def test_without_ppr_posts_fail_with_500():
+    dep = _post_heavy_build(enable_ppr=False)
+    dep.run(until=25)
+    release = RollingRelease(dep.env, dep.app_servers,
+                             RollingReleaseConfig(batch_fraction=0.34))
+    dep.env.process(release.execute())
+    dep.run(until=90)
+    clients = dep.metrics.scoped_counters("web-clients")
+    failures = clients.get("post_error") + clients.get("post_conn_reset")
+    assert failures >= 1
+    disrupted = sum(s.counters.get("post_disrupted")
+                    for s in dep.origin_servers)
+    assert disrupted >= 1

@@ -1,0 +1,114 @@
+"""Consistent-hash ring: balance, stability, fallback chains."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lb import ConsistentHashRing
+
+
+def _ring(nodes, replicas=100):
+    ring = ConsistentHashRing(replicas=replicas)
+    for node in nodes:
+        ring.add(node)
+    return ring
+
+
+def test_empty_ring_returns_none():
+    ring = ConsistentHashRing()
+    assert ring.lookup("anything") is None
+    assert ring.lookup_chain("anything") == []
+
+
+def test_single_node_gets_everything():
+    ring = _ring(["only"])
+    assert all(ring.lookup(i) == "only" for i in range(50))
+
+
+def test_lookup_deterministic():
+    ring = _ring([f"n{i}" for i in range(8)])
+    assert [ring.lookup(k) for k in range(100)] == \
+           [ring.lookup(k) for k in range(100)]
+
+
+def test_load_roughly_balanced():
+    nodes = [f"proxy-{i}" for i in range(10)]
+    ring = _ring(nodes, replicas=200)
+    counts = Counter(ring.lookup(f"flow-{i}") for i in range(20_000))
+    assert set(counts) == set(nodes)
+    expected = 20_000 / 10
+    for node, count in counts.items():
+        assert 0.5 * expected < count < 1.6 * expected, (node, count)
+
+
+def test_remove_only_remaps_removed_nodes_keys():
+    """The consistent-hashing property: removing one node moves only the
+    keys that were on it."""
+    nodes = [f"n{i}" for i in range(10)]
+    ring = _ring(nodes)
+    before = {k: ring.lookup(k) for k in range(5000)}
+    ring.remove("n3")
+    after = {k: ring.lookup(k) for k in range(5000)}
+    for key in before:
+        if before[key] != "n3":
+            assert after[key] == before[key]
+        else:
+            assert after[key] != "n3"
+
+
+def test_add_then_remove_restores_mapping():
+    ring = _ring([f"n{i}" for i in range(6)])
+    before = {k: ring.lookup(k) for k in range(2000)}
+    ring.add("newcomer")
+    ring.remove("newcomer")
+    after = {k: ring.lookup(k) for k in range(2000)}
+    assert before == after
+
+
+def test_duplicate_add_is_idempotent():
+    ring = _ring(["a", "b"])
+    before = {k: ring.lookup(k) for k in range(500)}
+    ring.add("a")
+    assert {k: ring.lookup(k) for k in range(500)} == before
+    assert len(ring) == 2
+
+
+def test_remove_absent_node_noop():
+    ring = _ring(["a"])
+    ring.remove("ghost")
+    assert len(ring) == 1
+
+
+def test_lookup_chain_distinct_fallbacks():
+    ring = _ring([f"n{i}" for i in range(5)])
+    chain = ring.lookup_chain("user-42", count=3)
+    assert len(chain) == 3
+    assert len(set(chain)) == 3
+    assert chain[0] == ring.lookup("user-42")
+
+
+def test_lookup_chain_capped_by_ring_size():
+    ring = _ring(["a", "b"])
+    assert len(ring.lookup_chain("k", count=10)) == 2
+
+
+def test_replicas_validation():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(replicas=0)
+
+
+@given(st.sets(st.text(min_size=1, max_size=8), min_size=2, max_size=12),
+       st.text(min_size=1, max_size=16))
+@settings(max_examples=40)
+def test_stability_property(nodes, key):
+    """Removing a node never remaps keys that were not on it."""
+    ring = ConsistentHashRing(replicas=30)
+    nodes = sorted(nodes)
+    for node in nodes:
+        ring.add(node)
+    owner = ring.lookup(key)
+    victim = next(n for n in nodes if n != owner)
+    ring.remove(victim)
+    assert ring.lookup(key) == owner

@@ -1,0 +1,72 @@
+"""ECMP router spraying flows across L4LB instances."""
+
+from collections import Counter
+
+import pytest
+
+from repro.lb import EcmpRouter, Katran
+from repro.netsim import Endpoint, FourTuple, Protocol
+
+
+def _flow(port):
+    return FourTuple(Protocol.TCP, Endpoint("9.9.9.9", port),
+                     Endpoint("100.64.0.1", 443))
+
+
+def _katrans(world, count, backends=4):
+    hosts = []
+    for i in range(backends):
+        host = world.host(f"proxy-{i}")
+        proc = host.spawn("p")
+        host.kernel.tcp_listen(proc, Endpoint(host.ip, 443))
+        hosts.append(host)
+    katrans = []
+    for k in range(count):
+        kh = world.host(f"katran-{k}")
+        katrans.append(Katran(kh, hosts, hc_port=443,
+                              name=f"katran-{k}"))
+    return katrans, hosts
+
+
+def test_ecmp_requires_l4lbs():
+    with pytest.raises(ValueError):
+        EcmpRouter([])
+
+
+def test_ecmp_pick_is_flow_stable(world):
+    katrans, _ = _katrans(world, 3)
+    router = EcmpRouter(katrans)
+    flow = _flow(5000)
+    assert len({router.pick_l4lb(flow) for _ in range(10)}) == 1
+
+
+def test_ecmp_spreads_flows_over_l4lbs(world):
+    katrans, _ = _katrans(world, 3)
+    router = EcmpRouter(katrans)
+    counts = Counter(router.pick_l4lb(_flow(p)) for p in range(1000, 1600))
+    assert len(counts) == 3
+    for katran, count in counts.items():
+        assert count > 600 / 3 * 0.5
+
+
+def test_ecmp_route_end_to_end(world):
+    katrans, hosts = _katrans(world, 2)
+    router = EcmpRouter(katrans)
+    backends = {router.route(_flow(p)) for p in range(2000, 2200)}
+    assert backends <= {h.ip for h in hosts}
+    assert len(backends) == len(hosts)
+
+
+def test_ecmp_consistent_when_katrans_agree(world):
+    """All Katrans share the same backend set; any of them routing a
+    flow must land it somewhere valid even if the ECMP hop changes."""
+    katrans, hosts = _katrans(world, 2)
+    router = EcmpRouter(katrans)
+    flow = _flow(7777)
+    via_router = router.route(flow)
+    direct = {k.route(flow) for k in katrans}
+    assert via_router in {h.ip for h in hosts}
+    # The same flow through either katran gives the same backend
+    # (consistent hashing with identical membership and salt-per-host
+    # means per-katran stability, not necessarily cross-katran equality).
+    assert all(b in {h.ip for h in hosts} for b in direct)

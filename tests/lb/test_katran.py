@@ -1,0 +1,164 @@
+"""Katran: routing, health checks, LRU behaviour."""
+
+import pytest
+
+from repro.lb import Katran, KatranConfig, LruConnectionTable
+from repro.netsim import Endpoint, FourTuple, Protocol
+
+
+def _flow(src_port, dst_ip="10.0.0.99", dst_port=443, proto=Protocol.TCP):
+    return FourTuple(proto, Endpoint("1.2.3.4", src_port),
+                     Endpoint(dst_ip, dst_port))
+
+
+def _pool(world, count=4, accepting=True):
+    """Backends with listeners on :443 plus a Katran host."""
+    backends, listeners = [], []
+    for i in range(count):
+        host = world.host(f"proxy-{i}")
+        proc = host.spawn("proxygen")
+        _, listener = host.kernel.tcp_listen(proc, Endpoint(host.ip, 443))
+        if not accepting:
+            listener.pause_accepting()
+        backends.append(host)
+        listeners.append(listener)
+    katran_host = world.host("katran-host")
+    return backends, listeners, katran_host
+
+
+def test_route_spreads_over_backends(world):
+    backends, _, kh = _pool(world)
+    katran = Katran(kh, backends, hc_port=443)
+    chosen = {katran.route(_flow(p)) for p in range(1000, 1200)}
+    assert chosen == {b.ip for b in backends}
+
+
+def test_route_is_flow_stable(world):
+    backends, _, kh = _pool(world)
+    katran = Katran(kh, backends, hc_port=443)
+    flow = _flow(5555)
+    assert len({katran.route(flow) for _ in range(10)}) == 1
+
+
+def test_route_empty_pool_returns_none(world):
+    kh = world.host("katran-host")
+    katran = Katran(kh, [], hc_port=443)
+    assert katran.route(_flow(1)) is None
+
+
+def test_health_check_keeps_accepting_backend_up(world):
+    backends, _, kh = _pool(world, count=2)
+    katran = Katran(kh, backends, hc_port=443,
+                    config=KatranConfig(hc_interval=0.5))
+    proc = kh.spawn("katran")
+    katran.start(proc)
+    world.env.run(until=5)
+    assert katran.healthy_backends() == [b.ip for b in backends]
+
+
+def test_health_check_removes_draining_backend(world):
+    backends, listeners, kh = _pool(world, count=3)
+    katran = Katran(kh, backends, hc_port=443,
+                    config=KatranConfig(hc_interval=0.5, down_threshold=2))
+    proc = kh.spawn("katran")
+    katran.start(proc)
+    world.env.run(until=3)
+    listeners[0].pause_accepting()   # HardRestart draining behaviour
+    world.env.run(until=8)
+    assert backends[0].ip not in katran.healthy_backends()
+    assert set(katran.healthy_backends()) == {backends[1].ip, backends[2].ip}
+    # No flow routes to the drained backend any more.
+    routed = {katran.route(_flow(p)) for p in range(2000, 2100)}
+    assert backends[0].ip not in routed
+
+
+def test_backend_recovers_after_resume(world):
+    backends, listeners, kh = _pool(world, count=2)
+    katran = Katran(kh, backends, hc_port=443,
+                    config=KatranConfig(hc_interval=0.5, up_threshold=1))
+    proc = kh.spawn("katran")
+    katran.start(proc)
+    world.env.run(until=2)
+    listeners[0].pause_accepting()
+    world.env.run(until=6)
+    assert backends[0].ip not in katran.healthy_backends()
+    listeners[0].resume_accepting()
+    world.env.run(until=10)
+    assert backends[0].ip in katran.healthy_backends()
+
+
+def test_lru_pins_flow_across_ring_flap(world):
+    """§5.1: the LRU absorbs momentary topology shuffles so existing
+    flows keep landing on the same backend."""
+    backends, listeners, kh = _pool(world, count=4)
+    katran = Katran(kh, backends, hc_port=443,
+                    config=KatranConfig(use_lru=True))
+    flows = [_flow(p) for p in range(3000, 3100)]
+    before = {f: katran.route(f) for f in flows}
+    # A backend flaps out and back (no LRU invalidation on flap).
+    victim = before[flows[0]]
+    state = katran.backends[victim]
+    for _ in range(5):
+        katran._mark(state, healthy=False)
+    # Other flows must stay pinned (their backend is still healthy).
+    for flow in flows:
+        if before[flow] != victim:
+            assert katran.route(flow) == before[flow]
+    for _ in range(5):
+        katran._mark(state, healthy=True)
+    # After recovery, even the victim's flows return to their backend
+    # only if rehashed identically; the LRU was re-pinned meanwhile.
+    routed = {f: katran.route(f) for f in flows}
+    for flow in flows:
+        if before[flow] != victim:
+            assert routed[flow] == before[flow]
+
+
+def test_without_lru_flap_remaps_flows(world):
+    backends, listeners, kh = _pool(world, count=4)
+    katran = Katran(kh, backends, hc_port=443,
+                    config=KatranConfig(use_lru=False))
+    flows = [_flow(p) for p in range(4000, 4400)]
+    before = {f: katran.route(f) for f in flows}
+    victim_ip = backends[0].ip
+    state = katran.backends[victim_ip]
+    for _ in range(5):
+        katran._mark(state, healthy=False)
+    for _ in range(5):
+        katran._mark(state, healthy=True)
+    after = {f: katran.route(f) for f in flows}
+    # Consistent hashing restores the original mapping after recovery...
+    assert before == after
+    # ...but DURING the flap the victim's flows were remapped:
+    for _ in range(5):
+        katran._mark(state, healthy=False)
+    during = {f: katran.route(f) for f in flows}
+    moved = sum(1 for f in flows
+                if before[f] == victim_ip and during[f] != before[f])
+    assert moved == sum(1 for f in flows if before[f] == victim_ip) > 0
+
+
+def test_lru_connection_table_basics():
+    lru = LruConnectionTable(capacity=2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    assert lru.get("a") == 1
+    lru.put("c", 3)          # evicts "b" (least recently used)
+    assert lru.get("b") is None
+    assert lru.get("a") == 1
+    assert lru.evictions == 1
+
+
+def test_lru_invalidate_value():
+    lru = LruConnectionTable(capacity=10)
+    lru.put("f1", "backend-1")
+    lru.put("f2", "backend-1")
+    lru.put("f3", "backend-2")
+    assert lru.invalidate_value("backend-1") == 2
+    assert lru.get("f1") is None
+    assert lru.get("f3") == "backend-2"
+
+
+def test_lru_capacity_validation():
+    with pytest.raises(ValueError):
+        LruConnectionTable(capacity=0)

@@ -1,0 +1,52 @@
+"""Tests for counters and counter sets."""
+
+import pytest
+
+from repro.metrics import Counter, CounterSet
+
+
+def test_counter_increments():
+    c = Counter("requests")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+
+
+def test_counter_rejects_decrease():
+    c = Counter("requests")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counterset_basic():
+    counters = CounterSet()
+    counters.inc("tcp_rst")
+    counters.inc("tcp_rst")
+    assert counters.get("tcp_rst") == 2
+    assert counters.get("never_touched") == 0
+
+
+def test_counterset_tags():
+    counters = CounterSet()
+    counters.inc("http_status", tag="200", amount=10)
+    counters.inc("http_status", tag="500", amount=3)
+    counters.inc("http_status", tag="379")
+    assert counters.get("http_status", tag="500") == 3
+    assert counters.with_tag_prefix("http_status") == {
+        "200": 10.0, "500": 3.0, "379": 1.0}
+
+
+def test_counterset_prefix():
+    counters = CounterSet(prefix="edge-1/")
+    counters.inc("rps")
+    assert counters.snapshot() == {"edge-1/rps": 1.0}
+
+
+def test_counterset_merged():
+    a = CounterSet()
+    b = CounterSet()
+    a.inc("errors", 2)
+    b.inc("errors", 3)
+    b.inc("timeouts")
+    merged = a.merged([b])
+    assert merged == {"errors": 5.0, "timeouts": 1.0}

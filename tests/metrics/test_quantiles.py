@@ -1,0 +1,71 @@
+"""Tests for quantile summaries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import Quantiles, summarize
+
+
+def test_quantiles_basic():
+    q = Quantiles()
+    q.extend(range(1, 101))
+    assert q.median == pytest.approx(50.5)
+    assert q.min == 1
+    assert q.max == 100
+    assert q.p99 == pytest.approx(99.01)
+
+
+def test_quantiles_single_value():
+    q = Quantiles()
+    q.add(7)
+    assert q.median == 7
+    assert q.p999 == 7
+
+
+def test_quantiles_empty_raises():
+    q = Quantiles()
+    with pytest.raises(ValueError):
+        q.median
+
+
+def test_quantiles_mean():
+    q = Quantiles()
+    q.extend([1, 2, 3])
+    assert q.mean == 2
+
+
+def test_quantile_bounds_validated():
+    q = Quantiles()
+    q.add(1)
+    with pytest.raises(ValueError):
+        q.quantile(1.5)
+
+
+def test_summarize_keys():
+    s = summarize([1, 2, 3, 4], quantiles=(0.5, 0.999))
+    assert s["count"] == 4
+    assert s["mean"] == 2.5
+    assert "p50" in s and "p99_9" in s
+
+
+def test_summarize_empty():
+    assert summarize([]) == {"count": 0}
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1))
+def test_quantiles_within_range(values):
+    q = Quantiles()
+    q.extend(values)
+    for prob in (0.0, 0.25, 0.5, 0.9, 1.0):
+        assert min(values) <= q.quantile(prob) <= max(values)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=2))
+def test_quantiles_monotone(values):
+    q = Quantiles()
+    q.extend(values)
+    results = [q.quantile(p) for p in (0.1, 0.5, 0.9, 0.99)]
+    assert results == sorted(results)

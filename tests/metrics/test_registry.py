@@ -1,0 +1,78 @@
+"""MetricsRegistry: scoping, aggregation, series management."""
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+
+
+def test_scoped_counters_are_cached():
+    registry = MetricsRegistry()
+    a = registry.scoped_counters("edge-1")
+    b = registry.scoped_counters("edge-1")
+    assert a is b
+
+
+def test_aggregate_sums_across_scopes():
+    registry = MetricsRegistry()
+    registry.scoped_counters("edge-1").inc("rps", 10)
+    registry.scoped_counters("edge-2").inc("rps", 5)
+    registry.scoped_counters("origin-1").inc("rps", 99)
+    assert registry.aggregate("rps", scope_prefix="edge-") == 15
+    assert registry.aggregate("rps") == 114
+
+
+def test_aggregate_with_tags():
+    registry = MetricsRegistry()
+    registry.scoped_counters("edge-1").inc("http_status", tag="500")
+    registry.scoped_counters("edge-2").inc("http_status", 2, tag="500")
+    registry.scoped_counters("edge-2").inc("http_status", 7, tag="200")
+    assert registry.aggregate("http_status", "edge-", tag="500") == 3
+
+
+def test_scopes_listing():
+    registry = MetricsRegistry()
+    registry.scoped_counters("b")
+    registry.scoped_counters("a")
+    registry.scoped_counters("ab")
+    assert registry.scopes() == ["a", "ab", "b"]
+    assert registry.scopes(prefix="a") == ["a", "ab"]
+
+
+def test_series_created_on_first_use():
+    registry = MetricsRegistry(bucket_width=2.0)
+    assert not registry.has_series("x")
+    series = registry.series("x")
+    assert registry.has_series("x")
+    assert series.bucket_width == 2.0
+    assert registry.series("x") is series
+
+
+def test_series_custom_bucket_and_mode():
+    registry = MetricsRegistry()
+    series = registry.series("gauges", mode="mean", bucket_width=0.5)
+    series.record(0.1, 4)
+    series.record(0.2, 8)
+    assert series.values(0, 0.5) == [6.0]
+
+
+def test_series_names_prefix():
+    registry = MetricsRegistry()
+    registry.series("rps/a")
+    registry.series("rps/b")
+    registry.series("errors")
+    assert registry.series_names("rps/") == ["rps/a", "rps/b"]
+
+
+def test_quantiles_accessor():
+    registry = MetricsRegistry()
+    registry.quantiles("latency").add(1.0)
+    registry.quantiles("latency").add(3.0)
+    assert registry.quantiles("latency").mean == 2.0
+
+
+def test_utilization_scopes():
+    registry = MetricsRegistry()
+    registry.utilization("host-1", capacity=4)
+    registry.utilization("host-2", capacity=8)
+    assert registry.utilization_scopes() == ["host-1", "host-2"]
+    assert registry.utilization("host-1").capacity == 4

@@ -1,0 +1,53 @@
+"""Sparkline / series rendering."""
+
+from repro.metrics import render_comparison, render_series, sparkline
+
+
+def test_sparkline_scales_to_range():
+    line = sparkline([0, 1, 2, 3])
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+    assert len(line) == 4
+
+
+def test_sparkline_flat_series():
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_explicit_bounds_clamp():
+    line = sparkline([-10, 0, 10], lo=0, hi=1)
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_render_series_includes_name_and_range():
+    out = render_series("rps", [(0, 1.0), (1, 2.0), (2, 4.0)])
+    assert out.startswith("rps")
+    assert "[1 .. 4]" in out
+
+
+def test_render_series_empty():
+    assert "(no data)" in render_series("x", [])
+
+
+def test_render_series_downsamples():
+    series = [(float(i), float(i % 7)) for i in range(500)]
+    out = render_series("long", series, width=40)
+    spark = out.split()[1]
+    assert len(spark) == 40
+
+
+def test_render_comparison_shared_scale():
+    out = render_comparison({
+        "low": [(0, 0.0), (1, 1.0)],
+        "high": [(0, 0.0), (1, 100.0)],
+    })
+    lines = out.splitlines()
+    assert len(lines) == 2
+    # On the shared scale, "low" never reaches the top block.
+    assert "█" not in lines[0].split()[1]
+    assert "█" in lines[1].split()[1]

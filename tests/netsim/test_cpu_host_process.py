@@ -1,0 +1,149 @@
+"""CPU model, host plumbing and OS-process lifecycle."""
+
+import pytest
+
+from repro.netsim import CpuCosts, CpuModel, ProcessDeadError
+from repro.simkernel import Environment
+
+
+def test_cpu_execute_takes_work_over_speed():
+    env = Environment()
+    cpu = CpuModel(env, cores=1, speed=10.0)
+    done = []
+
+    def worker():
+        yield from cpu.execute(5.0)   # 0.5s at 10 units/s
+        done.append(env.now)
+
+    env.process(worker())
+    env.run()
+    assert done == [0.5]
+
+
+def test_cpu_cores_limit_parallelism():
+    env = Environment()
+    cpu = CpuModel(env, cores=2, speed=1.0)
+    done = []
+
+    def worker(label):
+        yield from cpu.execute(1.0)
+        done.append((label, env.now))
+
+    for label in "abc":
+        env.process(worker(label))
+    env.run()
+    assert done == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+
+def test_cpu_zero_work_is_free():
+    env = Environment()
+    cpu = CpuModel(env, cores=1, speed=1.0)
+    done = []
+
+    def worker():
+        yield from cpu.execute(0)
+        done.append(env.now)
+        yield env.timeout(0)
+
+    env.process(worker())
+    env.run()
+    assert done == [0.0]
+
+
+def test_cpu_tracks_busy_time_and_utilization():
+    env = Environment()
+    cpu = CpuModel(env, cores=2, speed=1.0, bucket_width=1.0)
+
+    def worker():
+        yield from cpu.execute(2.0)
+
+    env.process(worker())
+    env.process(worker())
+    env.run()
+    assert cpu.total_busy_seconds == pytest.approx(4.0)
+    utilization = dict(cpu.utilization(0, 2))
+    assert utilization[0.0] == pytest.approx(1.0)  # both cores busy
+    idle = dict(cpu.idle(0, 2))
+    assert idle[0.0] == pytest.approx(0.0)
+
+
+def test_cpu_background_runs_detached():
+    env = Environment()
+    cpu = CpuModel(env, cores=1, speed=1.0)
+    cpu.background(3.0)
+    env.run()
+    assert cpu.total_busy_seconds == pytest.approx(3.0)
+
+
+def test_cpu_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CpuModel(env, cores=0)
+    with pytest.raises(ValueError):
+        CpuModel(env, cores=1, speed=0)
+
+
+def test_cpu_costs_defaults_sane():
+    costs = CpuCosts()
+    assert costs.tls_handshake > costs.tcp_handshake
+    assert costs.cache_priming > costs.process_spawn
+    assert costs.relay_message < costs.http_request
+
+
+def test_process_exit_is_idempotent(world):
+    host = world.host("h")
+    proc = host.spawn("p")
+    proc.exit("first")
+    proc.exit("second")
+    assert proc.exit_reason == "first"
+
+
+def test_process_cannot_run_after_exit(world):
+    host = world.host("h")
+    proc = host.spawn("p")
+    proc.exit()
+    with pytest.raises(ProcessDeadError):
+        proc.run(iter(()))
+
+
+def test_process_exit_interrupts_tasks(world):
+    host = world.host("h")
+    proc = host.spawn("p")
+    progress = []
+
+    def forever():
+        while True:
+            yield world.env.timeout(1)
+            progress.append(world.env.now)
+
+    proc.run(forever())
+    world.env.run(until=3.5)
+    proc.exit("shutdown")
+    world.env.run(until=10)
+    assert progress == [1.0, 2.0, 3.0]
+
+
+def test_process_memory_model(world):
+    host = world.host("h")
+    proc = host.spawn("p")
+    proc.base_memory = 100.0
+    proc.memory_per_connection = 2.0
+    assert proc.memory_usage() == 100.0
+    assert host.memory_usage() == 100.0
+    proc.exit()
+    assert host.memory_usage() == 0.0
+
+
+def test_host_spawn_tracks_processes(world):
+    host = world.host("h")
+    a = host.spawn("a")
+    b = host.spawn("b")
+    assert set(host.live_processes()) == {a, b}
+    a.exit()
+    assert host.live_processes() == [b]
+
+
+def test_host_reuseport_salts_differ(world):
+    a = world.host("a")
+    b = world.host("b")
+    assert a.reuseport_salt != b.reuseport_salt

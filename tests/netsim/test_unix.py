@@ -1,0 +1,158 @@
+"""UNIX domain sockets + SCM_RIGHTS-style ancillary FD passing."""
+
+import pytest
+
+from repro.netsim import ConnectionRefusedSim, Endpoint, SocketClosedSim
+
+
+def test_unix_roundtrip(world):
+    host = world.host("h")
+    old, new = host.spawn("old"), host.spawn("new")
+    listener = host.unix_listen(old, "/takeover.sock")
+    log = []
+
+    def server():
+        channel = yield listener.accept()
+        payload, fds = yield channel.recv()
+        log.append(("server", payload, fds))
+        channel.send("ack")
+
+    def client():
+        channel = yield host.unix_connect(new, "/takeover.sock")
+        channel.send("hello")
+        payload, fds = yield channel.recv()
+        log.append(("client", payload, fds))
+
+    old.run(server())
+    new.run(client())
+    world.env.run(until=1)
+    assert ("server", "hello", []) in log
+    assert ("client", "ack", []) in log
+
+
+def test_connect_missing_path_refused(world):
+    host = world.host("h")
+    proc = host.spawn("p")
+    refused = []
+
+    def client():
+        try:
+            yield host.unix_connect(proc, "/nope.sock")
+        except ConnectionRefusedSim:
+            refused.append(True)
+
+    proc.run(client())
+    world.env.run(until=1)
+    assert refused
+
+
+def test_fd_passing_installs_dup_in_receiver(world):
+    host = world.host("h")
+    client_host = world.host("client")
+    old, new = host.spawn("old"), host.spawn("new")
+    endpoint = Endpoint(host.ip, 443)
+    listen_fd, listen_sock = host.kernel.tcp_listen(old, endpoint)
+    listener = host.unix_listen(old, "/takeover.sock")
+    received = {}
+
+    def server():
+        channel = yield listener.accept()
+        channel.send({"type": "fds"}, fds=(listen_fd,))
+
+    def client():
+        channel = yield host.unix_connect(new, "/takeover.sock")
+        payload, fds = yield channel.recv()
+        received["fds"] = fds
+
+    old.run(server())
+    new.run(client())
+    world.env.run(until=1)
+
+    [new_fd] = received["fds"]
+    assert new.fd_table.resource(new_fd) is listen_sock
+    # Old process exits: the listening socket must survive via new's ref.
+    old.exit("restart")
+    assert not listen_sock.closed
+    # ...and actually still accepts connections.
+    cproc = client_host.spawn("c")
+    connected = []
+
+    def connector():
+        conn = yield client_host.kernel.tcp_connect(cproc, endpoint)
+        connected.append(conn)
+
+    cproc.run(connector())
+    world.env.run(until=2)
+    assert connected
+    # Close the last reference: now it really closes.
+    new.fd_table.close(new_fd)
+    assert listen_sock.closed
+
+
+def test_in_flight_reference_survives_sender_exit(world):
+    """FDs sent but not yet received keep the socket alive even if the
+    sender dies before the receiver reads the message."""
+    host = world.host("h")
+    old, new = host.spawn("old"), host.spawn("new")
+    endpoint = Endpoint(host.ip, 443)
+    listen_fd, listen_sock = host.kernel.tcp_listen(old, endpoint)
+    listener = host.unix_listen(old, "/takeover.sock")
+    state = {}
+
+    def server():
+        channel = yield listener.accept()
+        channel.send("fds", fds=(listen_fd,))
+        old.exit("dies immediately after send")
+
+    def client():
+        channel = yield host.unix_connect(new, "/takeover.sock")
+        yield world.env.timeout(0.5)   # read long after the sender died
+        payload, fds = yield channel.recv()
+        state["fds"] = fds
+
+    old.run(server())
+    new.run(client())
+    world.env.run(until=1)
+    assert not listen_sock.closed
+    assert new.fd_table.resource(state["fds"][0]) is listen_sock
+
+
+def test_send_on_closed_channel_raises(world):
+    host = world.host("h")
+    a, b = host.spawn("a"), host.spawn("b")
+    listener = host.unix_listen(a, "/x.sock")
+    errors = []
+
+    def server():
+        channel = yield listener.accept()
+        channel.close()
+
+    def client():
+        channel = yield host.unix_connect(b, "/x.sock")
+        yield world.env.timeout(0.1)
+        try:
+            channel.send("too late")
+        except SocketClosedSim:
+            errors.append(True)
+
+    a.run(server())
+    b.run(client())
+    world.env.run(until=1)
+    assert errors
+
+
+def test_stale_path_can_be_rebound_after_owner_death(world):
+    host = world.host("h")
+    a = host.spawn("a")
+    host.unix_listen(a, "/t.sock")
+    a.exit("gone")
+    b = host.spawn("b")
+    host.unix_listen(b, "/t.sock")  # must not raise
+
+
+def test_live_path_cannot_be_rebound(world):
+    host = world.host("h")
+    a, b = host.spawn("a"), host.spawn("b")
+    host.unix_listen(a, "/t.sock")
+    with pytest.raises(SocketClosedSim):
+        host.unix_listen(b, "/t.sock")

@@ -1,0 +1,182 @@
+"""HTTP/2-lite: multiplexing, GOAWAY, transport failure propagation."""
+
+import pytest
+
+from repro.netsim import Endpoint
+from repro.protocols import FrameType, GoAwayError, H2Connection, H2Error
+
+
+def _h2_pair(world):
+    """Build a connected (client_conn, server_conn) H2 pair with
+    dispatchers running; returns (client_conn, server_conn, procs)."""
+    server_host = world.host("server")
+    client_host = world.host("client")
+    sproc, cproc = server_host.spawn("s"), client_host.spawn("c")
+    endpoint = Endpoint(server_host.ip, 443)
+    _, listener = server_host.kernel.tcp_listen(sproc, endpoint)
+    made = {}
+
+    def server():
+        conn = yield listener.accept(sproc)
+        h2 = H2Connection(conn, role="server")
+        h2.start(sproc)
+        made["server"] = h2
+
+    def client():
+        conn = yield client_host.kernel.tcp_connect(cproc, endpoint)
+        h2 = H2Connection(conn, role="client")
+        h2.start(cproc)
+        made["client"] = h2
+
+    sproc.run(server())
+    cproc.run(client())
+    world.env.run(until=0.1)
+    return made["client"], made["server"], (cproc, sproc)
+
+
+def test_stream_roundtrip(world):
+    client, server, (cproc, sproc) = _h2_pair(world)
+    log = []
+
+    def server_logic():
+        stream = yield server.accept_stream()
+        frame = stream.inbox.try_get()
+        log.append(("server", frame.payload))
+        stream.send("response", end_stream=True)
+
+    def client_logic():
+        stream = client.open_stream()
+        stream.send("request", frame_type=FrameType.HEADERS)
+        sproc.run(server_logic())
+        frame = yield stream.recv()
+        log.append(("client", frame.payload))
+
+    cproc.run(client_logic())
+    world.env.run(until=1)
+    assert ("server", "request") in log
+    assert ("client", "response") in log
+
+
+def test_stream_ids_have_role_parity(world):
+    client, server, _ = _h2_pair(world)
+    assert client.open_stream().id % 2 == 1
+    assert client.open_stream().id % 2 == 1
+    assert server.open_stream().id % 2 == 0
+
+
+def test_concurrent_streams_multiplex(world):
+    client, server, (cproc, sproc) = _h2_pair(world)
+    received = []
+
+    def server_logic():
+        for _ in range(3):
+            stream = yield server.accept_stream()
+            frame = stream.inbox.try_get()
+            received.append((stream.id, frame.payload))
+
+    def client_logic():
+        for i in range(3):
+            stream = client.open_stream()
+            stream.send(f"req-{i}", frame_type=FrameType.HEADERS)
+        yield world.env.timeout(0.01)
+
+    sproc.run(server_logic())
+    cproc.run(client_logic())
+    world.env.run(until=1)
+    assert sorted(p for _, p in received) == ["req-0", "req-1", "req-2"]
+    assert len({sid for sid, _ in received}) == 3
+
+
+def test_goaway_blocks_new_streams(world):
+    client, server, (cproc, sproc) = _h2_pair(world)
+    server.send_goaway()
+    world.env.run(until=0.2)
+    assert client.goaway_received
+    with pytest.raises(GoAwayError):
+        client.open_stream()
+
+
+def test_goaway_lets_inflight_streams_finish(world):
+    client, server, (cproc, sproc) = _h2_pair(world)
+    finished = []
+
+    def server_logic():
+        stream = yield server.accept_stream()
+        server.send_goaway()           # drain: no NEW streams...
+        stream.send("late reply", end_stream=True)  # ...old ones finish
+
+    def client_logic():
+        stream = client.open_stream()
+        stream.send("long request", frame_type=FrameType.HEADERS)
+        sproc.run(server_logic())
+        frame = yield stream.recv()
+        finished.append(frame.payload)
+
+    cproc.run(client_logic())
+    world.env.run(until=1)
+    assert finished == ["late reply"]
+
+
+def test_goaway_race_resets_new_stream(world):
+    """A stream opened by the client while the server's GOAWAY is in
+    flight gets RST_STREAM, not silent loss."""
+    client, server, (cproc, sproc) = _h2_pair(world)
+    outcomes = []
+
+    def client_logic():
+        stream = client.open_stream()   # GOAWAY not yet received
+        stream.send("racing", frame_type=FrameType.HEADERS)
+        frame = yield stream.recv()
+        outcomes.append(frame.type)
+
+    server.send_goaway()
+    cproc.run(client_logic())
+    world.env.run(until=1)
+    assert outcomes == [FrameType.RST_STREAM]
+
+
+def test_transport_death_resets_streams(world):
+    client, server, (cproc, sproc) = _h2_pair(world)
+    outcomes = []
+
+    def client_logic():
+        stream = client.open_stream()
+        stream.send("hello", frame_type=FrameType.HEADERS)
+        yield world.env.timeout(0.05)
+        sproc.exit("hard restart")      # server process dies -> RST
+        frame = yield stream.recv()
+        outcomes.append((frame.type, client.broken))
+
+    cproc.run(client_logic())
+    world.env.run(until=1)
+    assert outcomes == [(FrameType.RST_STREAM, True)]
+    assert not client.alive
+
+
+def test_send_on_broken_connection_raises(world):
+    client, server, (cproc, sproc) = _h2_pair(world)
+
+    def client_logic():
+        yield world.env.timeout(0.05)
+        sproc.exit("gone")
+        yield world.env.timeout(0.05)
+        with pytest.raises(H2Error):
+            client.open_stream()
+
+    cproc.run(client_logic())
+    world.env.run(until=1)
+
+
+def test_stream_end_stream_closes(world):
+    client, server, (cproc, sproc) = _h2_pair(world)
+
+    def flow():
+        stream = client.open_stream()
+        stream.send("only", end_stream=True)
+        assert stream.local_closed
+        with pytest.raises(H2Error):
+            stream.send("more")
+        yield world.env.timeout(0)
+
+    cproc.run(flow())
+    world.env.run(until=1)

@@ -1,0 +1,91 @@
+"""Wire-accurate PPR forwarding: the full §5.2 byte dance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols import (
+    ChunkedDecoder,
+    ChunkedEncoder,
+    PostForwardingState,
+)
+
+
+def test_pass_through_tracks_position():
+    state = PostForwardingState()
+    wire = ChunkedEncoder.encode_chunk(b"0123456789")
+    out = state.forward(wire[:7])   # mid-chunk
+    assert out == wire[:7]
+    assert state.mid_chunk
+    # wire = b"a\r\n" (3-byte header) + data: 7 bytes in = 4 payload bytes.
+    assert state.forwarded_payload == 4
+
+
+def test_full_replay_dance_reconstructs_body():
+    body = b"The quick brown fox jumps over the lazy dog" * 20
+    wire = ChunkedEncoder.encode_body(body, chunk_size=100)
+    cut = 333  # arbitrary mid-stream position
+
+    # Phase 1: forward to the original server until the restart.
+    state = PostForwardingState()
+    state.forward(wire[:cut])
+    echoed = bytes(state._decoder.payload)  # what the server received
+
+    # Phase 2: the server 379s, echoing what it got; open the replay.
+    replay_stream = state.replay_prologue(echoed)
+
+    # Phase 3: keep consuming the client's original stream and re-frame.
+    remaining_payload = state.decode_client_fragment(wire[cut:])
+    replay_stream += state.forward_remaining(remaining_payload,
+                                             is_last=True)
+
+    # The replacement server must decode exactly the original body.
+    upstream = ChunkedDecoder()
+    assert upstream.feed(replay_stream) == body
+    assert upstream.finished
+
+
+def test_replay_prologue_empty_echo():
+    state = PostForwardingState()
+    assert state.replay_prologue(b"") == b""
+
+
+def test_mode_enforcement():
+    state = PostForwardingState()
+    with pytest.raises(RuntimeError):
+        state.forward_remaining(b"too early")
+    state.replay_prologue(b"x")
+    with pytest.raises(RuntimeError):
+        state.forward(b"too late")
+
+
+@given(st.binary(min_size=1, max_size=3000),
+       st.integers(min_value=1, max_value=200), st.data())
+@settings(max_examples=60)
+def test_replay_dance_property(body, chunk_size, data):
+    """For ANY body, chunking and cut position — mid-chunk, at a
+    boundary, inside a header — the replayed stream equals the body."""
+    wire = ChunkedEncoder.encode_body(body, chunk_size=chunk_size)
+    cut = data.draw(st.integers(min_value=0, max_value=len(wire)))
+
+    state = PostForwardingState()
+    state.forward(wire[:cut])
+    echoed = bytes(state._decoder.payload)
+
+    replay = state.replay_prologue(echoed)
+    remaining = state.decode_client_fragment(wire[cut:])
+    replay += state.forward_remaining(remaining, is_last=True)
+
+    upstream = ChunkedDecoder()
+    assert upstream.feed(replay) == body
+    assert upstream.finished
+
+
+def test_mid_chunk_flag_matches_cut_position():
+    wire = ChunkedEncoder.encode_chunk(b"A" * 16)  # "10\r\n" + 16 + "\r\n"
+    at_boundary = PostForwardingState()
+    at_boundary.forward(wire)
+    assert not at_boundary.mid_chunk
+    mid = PostForwardingState()
+    mid.forward(wire[:10])
+    assert mid.mid_chunk

@@ -1,0 +1,93 @@
+"""Hand-wired mini-stack fixtures for proxygen unit tests.
+
+Avoids the full Deployment: one origin proxy (backed by real app servers
+and a broker) plus one edge proxy routed straight at it.
+"""
+
+import pytest
+
+from repro.appserver import (
+    AppServer,
+    AppServerConfig,
+    AppServerPool,
+    BrokerConfig,
+    MqttBroker,
+)
+from repro.lb import ConsistentHashRing
+from repro.netsim import Endpoint, Protocol, VIP
+from repro.proxygen import ProxygenConfig, ProxygenServer, ProxyTierContext
+
+
+class MiniStack:
+    """client-host → edge proxy → origin proxy → apps/broker."""
+
+    def __init__(self, world, edge_config=None, origin_config=None,
+                 app_servers=2, app_config=None):
+        self.world = world
+        self.env = world.env
+
+        self.app_pool = AppServerPool()
+        self.app_servers = []
+        for i in range(app_servers):
+            host = world.host(f"app-{i}")
+            server = AppServer(host, app_config or AppServerConfig())
+            server.start()
+            self.app_pool.add(server)
+            self.app_servers.append(server)
+
+        broker_host = world.host("broker")
+        self.broker = MqttBroker(broker_host, BrokerConfig(
+            downstream_publish_rate=0.0))
+        self.broker.start()
+        ring = ConsistentHashRing(replicas=30)
+        ring.add(broker_host.ip)
+
+        self.origin_host = world.host("origin-proxy")
+        origin_vip = Endpoint("100.64.9.1", 443)
+        self.origin = ProxygenServer(
+            self.origin_host,
+            origin_config or ProxygenConfig(mode="origin",
+                                            drain_duration=5.0,
+                                            spawn_delay=0.5),
+            ProxyTierContext(app_pool=self.app_pool, broker_ring=ring,
+                             broker_port=self.broker.endpoint.port),
+            vips=[VIP("https", origin_vip, Protocol.TCP)])
+
+        self.edge_host = world.host("edge-proxy")
+        edge_vip_ip = "100.64.8.1"
+        self.edge_vips = [
+            VIP("https", Endpoint(edge_vip_ip, 443), Protocol.TCP),
+            VIP("quic", Endpoint(edge_vip_ip, 443), Protocol.UDP),
+            VIP("mqtt", Endpoint(edge_vip_ip, 8883), Protocol.TCP),
+        ]
+        self.edge = ProxygenServer(
+            self.edge_host,
+            edge_config or ProxygenConfig(mode="edge", drain_duration=5.0,
+                                          spawn_delay=0.5),
+            ProxyTierContext(origin_vip=origin_vip,
+                             origin_router=lambda flow: self.origin_host.ip),
+            vips=self.edge_vips)
+
+    def start(self):
+        done_origin = self.env.process(self.origin.start())
+        self.env.run(until=done_origin)
+        done_edge = self.env.process(self.edge.start())
+        self.env.run(until=done_edge)
+        return self
+
+    @property
+    def edge_https(self):
+        return self.edge_vips[0].endpoint
+
+    @property
+    def edge_mqtt(self):
+        return self.edge_vips[2].endpoint
+
+    def client(self, name="client"):
+        host = self.world.host(name)
+        return host, host.spawn(name)
+
+
+@pytest.fixture
+def stack(world):
+    return MiniStack(world).start()

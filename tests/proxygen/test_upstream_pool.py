@@ -1,0 +1,105 @@
+"""UpstreamPool: dialing, GOAWAY redial, failure handling."""
+
+import pytest
+
+from repro.proxygen import ProxygenConfig, UpstreamUnavailable
+from .conftest import MiniStack
+
+
+def _open_stream(stack, collector):
+    """Run an open_stream call inside the edge instance's process."""
+    instance = stack.edge.active_instance
+
+    def flow():
+        stream = yield from instance.upstream.open_stream()
+        collector.append(stream)
+
+    instance.process.run(flow())
+    stack.env.run(until=stack.env.now + 1)
+
+
+def test_pool_dials_once_and_reuses(world):
+    stack = MiniStack(world).start()
+    instance = stack.edge.active_instance
+    streams = []
+    _open_stream(stack, streams)
+    _open_stream(stack, streams)
+    assert len(streams) == 2
+    assert streams[0].conn is streams[1].conn
+    assert instance.upstream.dials == 1
+
+
+def test_pool_redials_after_goaway(world):
+    stack = MiniStack(world).start()
+    instance = stack.edge.active_instance
+    streams = []
+    _open_stream(stack, streams)
+    first_conn = streams[0].conn
+    # Origin sends GOAWAY on that connection (drain).
+    origin_instance = stack.origin.active_instance
+    for conn in origin_instance.edge_h2_conns:
+        conn.send_goaway()
+    stack.env.run(until=stack.env.now + 0.5)
+    _open_stream(stack, streams)
+    assert streams[1].conn is not first_conn
+    assert instance.upstream.dials == 2
+
+
+def test_pool_redials_after_transport_death(world):
+    stack = MiniStack(world).start()
+    streams = []
+    _open_stream(stack, streams)
+    stack.origin.active_instance.process.exit("crash")
+    stack.env.run(until=stack.env.now + 0.5)
+    # Reboot origin so the redial can land.
+    replacement = stack.origin._new_instance()
+    boot = stack.env.process(replacement.start_fresh())
+    stack.env.run(until=boot)
+    stack.origin.active_instance = replacement
+    _open_stream(stack, streams)
+    assert len(streams) == 2
+    assert streams[1].conn.alive
+
+
+def test_pool_raises_when_router_empty(world):
+    stack = MiniStack(world).start()
+    instance = stack.edge.active_instance
+    instance.upstream.origin_router = lambda flow: None
+    instance.upstream.current = None
+    failures = []
+
+    def flow():
+        try:
+            yield from instance.upstream.open_stream()
+        except UpstreamUnavailable:
+            failures.append(True)
+
+    instance.process.run(flow())
+    stack.env.run(until=stack.env.now + 1)
+    assert failures
+
+
+def test_pool_survives_refused_dial_then_recovers(world):
+    stack = MiniStack(world).start()
+    instance = stack.edge.active_instance
+    # Point the router at a host with no listener.
+    dead_host = world.host("dead")
+    instance.upstream.origin_router = lambda flow: dead_host.ip
+    instance.upstream.current = None
+    failures = []
+
+    def flow():
+        try:
+            yield from instance.upstream.open_stream()
+        except UpstreamUnavailable:
+            failures.append(True)
+
+    instance.process.run(flow())
+    stack.env.run(until=stack.env.now + 1)
+    assert failures
+    assert stack.edge.counters.get("upstream_dial_refused") >= 1
+    # Router heals: next open succeeds.
+    instance.upstream.origin_router = lambda flow: stack.origin_host.ip
+    streams = []
+    _open_stream(stack, streams)
+    assert streams and streams[0].conn.alive

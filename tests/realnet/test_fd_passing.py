@@ -1,0 +1,114 @@
+"""Real-OS FD passing over AF_UNIX socketpairs."""
+
+import os
+import socket
+
+import pytest
+
+from repro.realnet import recv_message, send_message
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+    yield a, b
+    a.close()
+    b.close()
+
+
+def test_message_roundtrip_no_fds(pair):
+    a, b = pair
+    send_message(a, {"type": "hello", "n": 42})
+    payload, fds = recv_message(b)
+    assert payload == {"type": "hello", "n": 42}
+    assert fds == []
+
+
+def test_large_payload_roundtrip(pair):
+    a, b = pair
+    blob = {"data": "x" * 20_000}
+    send_message(a, blob)
+    payload, _ = recv_message(b)
+    assert payload == blob
+
+
+def test_fd_passing_duplicates_description(pair, tmp_path):
+    a, b = pair
+    path = tmp_path / "shared.txt"
+    with open(path, "w") as f:
+        f.write("before\n")
+    fd = os.open(path, os.O_RDWR | os.O_APPEND)
+    try:
+        send_message(a, {"type": "fds"}, fds=(fd,))
+        payload, fds = recv_message(b)
+        assert payload == {"type": "fds"}
+        assert len(fds) == 1
+        received = fds[0]
+        assert received != fd  # a fresh descriptor number
+        os.write(received, b"after\n")
+        os.close(received)
+        # Writes through the passed FD landed in the same file (shared
+        # open file description).
+        with open(path) as f:
+            assert f.read() == "before\nafter\n"
+    finally:
+        os.close(fd)
+
+
+def test_listening_socket_passes_and_accepts(pair):
+    a, b = pair
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    addr = listener.getsockname()
+    try:
+        send_message(a, {"names": ["http"]}, fds=(listener.fileno(),))
+        _, fds = recv_message(b)
+        received = socket.socket(fileno=fds[0])
+        # Close the "old process" reference: the description survives.
+        listener.close()
+        client = socket.create_connection(addr, timeout=5)
+        received.settimeout(5)
+        conn, _ = received.accept()
+        client.sendall(b"ping")
+        assert conn.recv(4) == b"ping"
+        conn.close()
+        client.close()
+        received.close()
+    finally:
+        try:
+            listener.close()
+        except OSError:
+            pass
+
+
+def test_multiple_fds_keep_order(pair, tmp_path):
+    a, b = pair
+    fds = []
+    for i in range(5):
+        path = tmp_path / f"f{i}"
+        path.write_text(str(i))
+        fds.append(os.open(path, os.O_RDONLY))
+    try:
+        send_message(a, {"names": list(range(5))}, fds=tuple(fds))
+        payload, received = recv_message(b)
+        assert len(received) == 5
+        for i, fd in enumerate(received):
+            assert os.read(fd, 10) == str(i).encode()
+            os.close(fd)
+    finally:
+        for fd in fds:
+            os.close(fd)
+
+
+def test_too_many_fds_rejected(pair):
+    a, _ = pair
+    with pytest.raises(ValueError):
+        send_message(a, {}, fds=tuple(range(300)))
+
+
+def test_peer_close_raises(pair):
+    a, b = pair
+    a.close()
+    with pytest.raises(ConnectionError):
+        recv_message(b)

@@ -1,0 +1,123 @@
+"""Rolling-release orchestration: batching, gaps, timing records."""
+
+import pytest
+
+from repro.release import RollingRelease, RollingReleaseConfig
+from repro.simkernel import Environment
+
+
+class FakeTarget:
+    """A restartable that takes a fixed time and records when it ran."""
+
+    def __init__(self, env, name, duration=5.0):
+        self.env = env
+        self.name = name
+        self.duration = duration
+        self.restarts: list[tuple[float, float]] = []
+
+    def release(self):
+        start = self.env.now
+        yield self.env.timeout(self.duration)
+        self.restarts.append((start, self.env.now))
+
+
+class FakeAppTarget:
+    """Exposes restart() only (the AppServer duck type)."""
+
+    def __init__(self, env, name, duration=5.0):
+        self.env = env
+        self.name = name
+        self.duration = duration
+        self.restarts = []
+
+    def restart(self):
+        yield self.env.timeout(self.duration)
+        self.restarts.append((0, self.env.now))
+
+
+def _targets(env, count, duration=5.0):
+    return [FakeTarget(env, f"t{i}", duration) for i in range(count)]
+
+
+def test_batches_calculation():
+    config = RollingReleaseConfig(batch_fraction=0.2)
+    assert config.batches(10) == 2
+    assert config.batches(7) == 2
+    assert config.batches(1) == 1
+    assert RollingReleaseConfig(batch_fraction=1.0).batches(5) == 5
+
+
+def test_batch_fraction_validated():
+    env = Environment()
+    release = RollingRelease(env, _targets(env, 4),
+                             RollingReleaseConfig(batch_fraction=0.0))
+    with pytest.raises(ValueError):
+        env.run(until=env.process(release.execute()))
+
+
+def test_all_targets_restarted_once():
+    env = Environment()
+    targets = _targets(env, 10)
+    release = RollingRelease(env, targets,
+                             RollingReleaseConfig(batch_fraction=0.3))
+    env.run(until=env.process(release.execute()))
+    assert all(len(t.restarts) == 1 for t in targets)
+
+
+def test_batches_are_sequential():
+    env = Environment()
+    targets = _targets(env, 4, duration=10.0)
+    release = RollingRelease(env, targets,
+                             RollingReleaseConfig(batch_fraction=0.5))
+    env.run(until=env.process(release.execute()))
+    # Batch 1 = t0,t1 at time 0; batch 2 = t2,t3 at time 10.
+    assert targets[0].restarts[0][0] == 0.0
+    assert targets[1].restarts[0][0] == 0.0
+    assert targets[2].restarts[0][0] == 10.0
+    assert release.duration == 20.0
+    assert len(release.batches) == 2
+
+
+def test_inter_batch_gap_and_post_batch_wait():
+    env = Environment()
+    targets = _targets(env, 2, duration=5.0)
+    release = RollingRelease(env, targets, RollingReleaseConfig(
+        batch_fraction=0.5, inter_batch_gap=3.0, post_batch_wait=2.0))
+    env.run(until=env.process(release.execute()))
+    # t0: [0,5] + wait 2 + gap 3 -> t1 starts at 10.
+    assert targets[1].restarts[0][0] == 10.0
+    # No trailing gap after the last batch; post_batch_wait applies.
+    assert release.duration == 17.0
+
+
+def test_batch_records_capture_names_and_times():
+    env = Environment()
+    targets = _targets(env, 3, duration=1.0)
+    release = RollingRelease(env, targets,
+                             RollingReleaseConfig(batch_fraction=0.34))
+    env.run(until=env.process(release.execute()))
+    # ceil(3 × 0.34) = 2 per batch.
+    assert [b.targets for b in release.batches] == [["t0", "t1"], ["t2"]]
+    assert all(b.finished_at > b.started_at for b in release.batches)
+
+
+def test_restart_duck_typing():
+    env = Environment()
+    targets = [FakeAppTarget(env, "app", 2.0)]
+    release = RollingRelease(env, targets)
+    env.run(until=env.process(release.execute()))
+    assert targets[0].restarts
+
+
+def test_unrestartable_target_rejected():
+    env = Environment()
+    release = RollingRelease(env, [object()])
+    with pytest.raises(TypeError):
+        env.run(until=env.process(release.execute()))
+
+
+def test_duration_before_completion_raises():
+    env = Environment()
+    release = RollingRelease(env, _targets(env, 2))
+    with pytest.raises(RuntimeError):
+        release.duration

@@ -1,0 +1,199 @@
+"""Environment run-loop edge cases and with_timeout semantics."""
+
+import pytest
+
+from repro.netsim import TIMED_OUT, with_timeout
+from repro.simkernel import (
+    Environment,
+    Interrupt,
+    SimulationError,
+    Store,
+)
+from repro.simkernel.core import EmptySchedule
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_run_until_failed_event_raises():
+    env = Environment()
+
+    def boom():
+        yield env.timeout(1)
+        raise ValueError("kaput")
+
+    proc = env.process(boom())
+    with pytest.raises(ValueError, match="kaput"):
+        env.run(until=proc)
+
+
+def test_run_until_event_never_triggered_raises():
+    env = Environment()
+    event = env.event()   # nobody ever triggers it
+    env.timeout(1)        # some activity, then the queue drains
+    with pytest.raises(SimulationError):
+        env.run(until=event)
+
+
+def test_run_until_already_processed_event_returns_value():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+        return "done"
+
+    proc = env.process(quick())
+    env.run(until=10)
+    assert env.run(until=proc) == "done"
+
+
+def test_initial_time_respected():
+    env = Environment(initial_time=100.0)
+    fired = []
+
+    def proc():
+        yield env.timeout(5)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert fired == [105.0]
+
+
+def test_uncaught_interrupt_cancels_quietly():
+    env = Environment()
+
+    def victim():
+        yield env.timeout(100)
+
+    def attacker(target):
+        yield env.timeout(1)
+        target.interrupt("stop")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()              # no exception: cancellation semantics
+    assert not target.is_alive
+
+
+def test_caught_interrupt_lets_process_continue():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append(interrupt.cause)
+        yield env.timeout(1)
+        log.append(env.now)
+
+    def attacker(target):
+        yield env.timeout(2)
+        target.interrupt("poke")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    assert log == ["poke", 3.0]
+
+
+def test_interrupted_getter_does_not_eat_items():
+    """The zombie-getter regression: a task interrupted while blocked on
+    a store get must not consume items that arrive later."""
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def blocked():
+        yield store.get()
+        pytest.fail("should have been interrupted")
+
+    def live_consumer():
+        item = yield store.get()
+        got.append(item)
+
+    victim = env.process(blocked())
+
+    def orchestrate():
+        yield env.timeout(1)
+        victim.interrupt("die")
+        env.process(live_consumer())
+        yield env.timeout(1)
+        yield store.put("precious")
+
+    env.process(orchestrate())
+    env.run()
+    assert got == ["precious"]
+
+
+def test_with_timeout_returns_value_when_event_wins():
+    env = Environment()
+    results = []
+
+    def proc():
+        outcome = yield from with_timeout(env, env.timeout(1, "fast"), 5)
+        results.append(outcome)
+
+    env.process(proc())
+    env.run()
+    assert results == ["fast"]
+
+
+def test_with_timeout_returns_sentinel_on_deadline():
+    env = Environment()
+    store = Store(env)
+    results = []
+
+    def proc():
+        outcome = yield from with_timeout(env, store.get(), 2)
+        results.append(outcome)
+
+    env.process(proc())
+    env.run(until=10)
+    assert results == [TIMED_OUT]
+
+
+def test_with_timeout_cancels_losing_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def impatient():
+        outcome = yield from with_timeout(env, store.get(), 1)
+        assert outcome is TIMED_OUT
+
+    def patient():
+        item = yield store.get()
+        got.append(item)
+
+    def producer():
+        yield env.timeout(2)
+        env.process(patient())
+        yield env.timeout(1)
+        yield store.put("x")
+
+    env.process(impatient())
+    env.process(producer())
+    env.run()
+    assert got == ["x"]
+
+
+def test_with_timeout_propagates_event_failure():
+    env = Environment()
+    caught = []
+
+    def proc():
+        event = env.event()
+        event.fail(RuntimeError("bad"))
+        try:
+            yield from with_timeout(env, event, 5)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(proc())
+    env.run()
+    assert caught == ["bad"]

@@ -1,0 +1,313 @@
+"""Tests for the event primitives and the environment run loop."""
+
+import pytest
+
+from repro.simkernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(5)
+        log.append(env.now)
+        yield env.timeout(2.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [5.0, 7.5]
+
+
+def test_timeout_value_passed_through():
+    env = Environment()
+    result = []
+
+    def proc():
+        value = yield env.timeout(1, value="hello")
+        result.append(value)
+
+    env.process(proc())
+    env.run()
+    assert result == ["hello"]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=35)
+    assert env.now == 35
+
+
+def test_run_until_time_with_empty_queue_sets_now():
+    env = Environment()
+    env.run(until=100)
+    assert env.now == 100
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=50)
+    with pytest.raises(ValueError):
+        env.run(until=10)
+
+
+def test_events_processed_in_time_order():
+    env = Environment()
+    order = []
+
+    def waiter(delay, label):
+        yield env.timeout(delay)
+        order.append(label)
+
+    env.process(waiter(3, "c"))
+    env.process(waiter(1, "a"))
+    env.process(waiter(2, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_order_at_equal_time():
+    env = Environment()
+    order = []
+
+    def waiter(label):
+        yield env.timeout(1)
+        order.append(label)
+
+    for label in "abcd":
+        env.process(waiter(label))
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        return 42
+
+    def parent(results):
+        value = yield env.process(child())
+        results.append(value)
+
+    results = []
+    env.process(parent(results))
+    env.run()
+    assert results == [42]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3)
+        return "done"
+
+    proc = env.process(child())
+    assert env.run(until=proc) == "done"
+    assert env.now == 3
+
+
+def test_event_succeed_once_only():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_failed_event_raises_in_waiting_process():
+    env = Environment()
+    caught = []
+
+    def proc():
+        event = env.event()
+        event.fail(ValueError("boom"))
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(proc())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_failure_propagates_to_run():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        raise RuntimeError("crash")
+
+    env.process(proc())
+    with pytest.raises(RuntimeError, match="crash"):
+        env.run()
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def proc():
+        yield 42
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_interrupt_is_delivered():
+    env = Environment()
+    causes = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            causes.append((env.now, interrupt.cause))
+
+    def attacker(target):
+        yield env.timeout(5)
+        target.interrupt(cause="restart")
+
+    target = env.process(victim())
+    env.process(attacker(target))
+    env.run()
+    assert causes == [(5.0, "restart")]
+
+
+def test_interrupt_dead_process_is_error():
+    env = Environment()
+
+    def victim():
+        yield env.timeout(1)
+
+    target = env.process(victim())
+    env.run()
+    with pytest.raises(SimulationError):
+        target.interrupt()
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10)
+
+    p = env.process(proc())
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_all_of_collects_all_values():
+    env = Environment()
+    got = []
+
+    def proc():
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(2, value="b")
+        values = yield AllOf(env, [t1, t2])
+        got.append(sorted(values.values()))
+
+    env.process(proc())
+    env.run()
+    assert got == [["a", "b"]]
+    assert env.now == 2
+
+
+def test_any_of_triggers_on_first():
+    env = Environment()
+    got = []
+
+    def proc():
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(50, value="slow")
+        values = yield AnyOf(env, [t1, t2])
+        got.append(list(values.values()))
+
+    env.process(proc())
+    env.run(until=2)
+    assert got == [["fast"]]
+
+
+def test_and_or_operators():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.timeout(1) & env.timeout(3)
+        done.append(env.now)
+        yield env.timeout(10) | env.timeout(2)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run(until=20)
+    assert done == [3.0, 5.0]
+
+
+def test_condition_on_already_processed_event():
+    env = Environment()
+    got = []
+
+    def proc():
+        t1 = env.timeout(1, value="x")
+        yield t1
+        # t1 is now processed; waiting on it again must not hang.
+        values = yield AllOf(env, [t1])
+        got.append(list(values.values()))
+
+    env.process(proc())
+    env.run()
+    assert got == [["x"]]
+
+
+def test_empty_condition_triggers_immediately():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield AllOf(env, [])
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [0.0]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7.0
+
+
+def test_peek_empty_is_infinite():
+    env = Environment()
+    assert env.peek() == float("inf")

@@ -1,0 +1,239 @@
+"""Tests for Store / FilterStore / Resource / Container."""
+
+import pytest
+
+from repro.simkernel import Container, Environment, FilterStore, Resource, Store
+
+
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert [item for _, item in got] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(5)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(5.0, "late")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer():
+        yield store.put("a")
+        times.append(env.now)
+        yield store.put("b")  # blocks until consumer takes "a"
+        times.append(env.now)
+
+    def consumer():
+        yield env.timeout(10)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [0.0, 10.0]
+
+
+def test_store_try_get():
+    env = Environment()
+    store = Store(env)
+    assert store.try_get() is None
+    store.put("x")
+    env.run()
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_filter_store_matches_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer():
+        yield store.put(1)
+        yield store.put(3)
+        yield store.put(4)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [4]
+    assert store.items == [1, 3]
+
+
+def test_filter_store_get_cancel():
+    env = Environment()
+    store = FilterStore(env)
+
+    get_event = store.get(lambda x: x == "never")
+    get_event.cancel()
+    store.put("never")
+    env.run()
+    # The cancelled getter must not consume the item.
+    assert store.items == ["never"]
+
+
+def test_resource_serializes_users():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    spans = []
+
+    def worker(label):
+        with cpu.request() as req:
+            yield req
+            start = env.now
+            yield env.timeout(10)
+            spans.append((label, start, env.now))
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    assert spans == [("a", 0.0, 10.0), ("b", 10.0, 20.0)]
+
+
+def test_resource_capacity_two_runs_parallel():
+    env = Environment()
+    cpu = Resource(env, capacity=2)
+    finished = []
+
+    def worker(label):
+        with cpu.request() as req:
+            yield req
+            yield env.timeout(10)
+            finished.append((label, env.now))
+
+    for label in "abc":
+        env.process(worker(label))
+    env.run()
+    assert finished == [("a", 10.0), ("b", 10.0), ("c", 20.0)]
+
+
+def test_resource_release_pending_request():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+
+    def holder():
+        with cpu.request() as req:
+            yield req
+            yield env.timeout(100)
+
+    def impatient():
+        request = cpu.request()
+        yield env.timeout(1)
+        request.release()  # gives up while still queued
+
+    env.process(holder())
+    env.process(impatient())
+    env.run(until=5)
+    assert cpu.queue_length == 0
+    assert cpu.count == 1
+
+
+def test_resource_counts():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+
+    def holder():
+        with cpu.request() as req:
+            yield req
+            assert cpu.count == 1
+            yield env.timeout(1)
+
+    env.process(holder())
+    env.run()
+    assert cpu.count == 0
+
+
+def test_container_levels():
+    env = Environment()
+    tank = Container(env, capacity=100, init=50)
+    log = []
+
+    def consumer():
+        yield tank.get(30)
+        log.append(("got", env.now, tank.level))
+        yield tank.get(40)  # blocks until producer adds
+        log.append(("got", env.now, tank.level))
+
+    def producer():
+        yield env.timeout(5)
+        yield tank.put(25)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert log == [("got", 0.0, 20.0), ("got", 5.0, 5.0)]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    times = []
+
+    def producer():
+        yield tank.put(5)
+        times.append(env.now)
+
+    def consumer():
+        yield env.timeout(3)
+        yield tank.get(5)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert times == [3.0]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=10)
+    tank = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        tank.put(-1)
+    with pytest.raises(ValueError):
+        tank.get(-1)
