@@ -69,12 +69,25 @@ class AppServer:
         self.listener: Optional[TcpListenSocket] = None
         self.in_flight_posts: dict[int, InFlightPost] = {}
         self._rng = host.streams.stream("appserver")
+        #: Fault-injection overrides (repro.faults).  ``fault_rogue_fraction``
+        #: overrides the config's §5.2 rogue-status chaos flag per server;
+        #: ``fault_truncate_fraction`` makes this server cut responses off
+        #: mid-body (the downstream proxy sees a reset, never a reply).
+        self.fault_rogue_fraction: Optional[float] = None
+        self.fault_truncate_fraction: float = 0.0
 
     # -- lifecycle --------------------------------------------------------
 
     @property
     def accepting(self) -> bool:
         return self.state == self.STATE_ACTIVE
+
+    @property
+    def effective_rogue_fraction(self) -> float:
+        """The §5.2 rogue-status probability, fault override included."""
+        if self.fault_rogue_fraction is not None:
+            return self.fault_rogue_fraction
+        return self.config.rogue_status_fraction
 
     def start(self) -> None:
         """Boot the first generation (synchronous bind)."""
@@ -126,6 +139,26 @@ class AppServer:
         priming.exit("priming helper done")
         self._boot_process()
         self.counters.inc("restart_finished")
+
+    def crash(self) -> None:
+        """Fault path: the machine dies *now* — no drain, no 379s.
+
+        Every in-flight request is RST mid-stream (what §5 incidents look
+        like to the proxy tier); the server stays down until
+        :meth:`reboot`.
+        """
+        if self.process is not None and self.process.alive:
+            self.process.exit("fault:crash")
+        self.in_flight_posts.clear()
+        self.state = self.STATE_DOWN
+        self.counters.inc("crashes")
+
+    def reboot(self) -> None:
+        """Bring a crashed server back (cold boot, fresh generation)."""
+        if self.state != self.STATE_DOWN:
+            return
+        self._boot_process()
+        self.counters.inc("reboots")
 
     def _reply_partial_post(self, post: InFlightPost) -> None:
         """The 379 path: echo partial body + pseudo-headers downstream."""
@@ -180,8 +213,16 @@ class AppServer:
             self._rng.expovariate(1.0 / self.config.service_time_mean))
         if not conn.alive:
             return
-        if (self.config.rogue_status_fraction > 0
-                and self._rng.random() < self.config.rogue_status_fraction):
+        if (self.fault_truncate_fraction > 0
+                and self._rng.random() < self.fault_truncate_fraction):
+            # Fault mode ("upstream_truncate"): the response is cut off
+            # mid-body — downstream observes a reset, never a complete
+            # reply, and must fail over to another server.
+            self.counters.inc("responses_truncated")
+            conn.abort(reason="truncated_body")
+            return
+        rogue = self.effective_rogue_fraction
+        if rogue > 0 and self._rng.random() < rogue:
             # §5.2 incident mode: memory corruption produced random
             # status codes — sometimes exactly 379, but never with the
             # PartialPOST status message.
@@ -230,8 +271,8 @@ class AppServer:
             self.counters.inc("http_status", tag="400")
             self.counters.inc("posts_incomplete")
             return
-        if (self.config.rogue_status_fraction > 0
-                and self._rng.random() < self.config.rogue_status_fraction):
+        rogue = self.effective_rogue_fraction
+        if rogue > 0 and self._rng.random() < rogue:
             # §5.2 incident: a bare 379 (no PartialPOST message) on the
             # POST path — the case that forced the strict check.
             conn.send(HttpResponse(STATUS_PARTIAL_POST_REPLAY,

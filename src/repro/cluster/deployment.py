@@ -16,6 +16,8 @@ from ..appserver.pool import AppServerPool
 from ..clients.mqtt import MqttClientPopulation
 from ..clients.quic import QuicClientPopulation
 from ..clients.web import WebClientPopulation
+from ..faults.injector import FaultInjector, ambient_plan
+from ..faults.plan import FaultPlan
 from ..lb.consistent_hash import ConsistentHashRing
 from ..lb.katran import Katran
 from ..metrics.registry import MetricsRegistry
@@ -41,9 +43,14 @@ class Deployment:
     """One built (but not yet started) end-to-end deployment."""
 
     def __init__(self, spec: DeploymentSpec,
-                 env: Optional[Environment] = None):
+                 env: Optional[Environment] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.spec = spec
         self.env = env or Environment()
+        #: Explicit plan, else the ambient one (set by the CLI's
+        #: ``--faults``); attached when the deployment starts.
+        self._fault_plan = fault_plan
+        self.fault_injector: Optional[FaultInjector] = None
         self.streams = RandomStreams(spec.seed)
         self.metrics = MetricsRegistry(bucket_width=spec.bucket_width)
         self.network = Network(self.env, self.streams,
@@ -190,6 +197,9 @@ class Deployment:
     def start(self):
         """Kick off every component; returns the "infrastructure ready"
         process (clients start once it completes)."""
+        plan = self._fault_plan or ambient_plan()
+        if plan is not None and self.fault_injector is None:
+            self.fault_injector = FaultInjector(self, plan).attach()
         return self.env.process(self._startup())
 
     def _startup(self):

@@ -6,6 +6,7 @@ and scalars the paper's figure plots, plus shape claims the benchmarks
 assert.
 """
 
+from . import chaos
 from . import fig02_release_cadence
 from . import fig02d_misrouting
 from . import fig03_restart_implications
@@ -21,6 +22,7 @@ from . import fig17_takeover_overhead
 from .common import ExperimentResult
 
 ALL_EXPERIMENTS = {
+    "chaos": chaos,
     "fig02": fig02_release_cadence,
     "fig02d": fig02d_misrouting,
     "fig03": fig03_restart_implications,

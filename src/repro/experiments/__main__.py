@@ -5,9 +5,13 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig09 [--seed 3]
     python -m repro.experiments all [--seed 3]
+    python -m repro.experiments fig12 --faults hc-flap-storm
 
 Runs the named figure harness(es) and prints the rows the paper's figure
-plots, plus the PASS/FAIL state of every shape claim.
+plots, plus the PASS/FAIL state of every shape claim.  ``--faults PLAN``
+reruns the figure under a named fault plan (see ``repro.faults``): every
+deployment the harness builds gets the plan attached, and the faults
+summary is printed with the results.
 """
 
 from __future__ import annotations
@@ -16,7 +20,9 @@ import argparse
 import sys
 import time
 
-from ..metrics.report import render_series
+from ..faults import BUILTIN_PLANS, builtin_plan, clear_ambient_plan, \
+    set_ambient_plan
+from ..metrics.report import render_faults, render_series
 from . import ALL_EXPERIMENTS
 
 
@@ -29,13 +35,32 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--no-plots", action="store_true",
                         help="skip the sparkline rendering of series")
+    parser.add_argument("--faults", metavar="PLAN", default=None,
+                        help="rerun under a named fault plan "
+                             "(see 'list' for the available plans)")
+    parser.add_argument("--faults-at", type=float, default=5.0,
+                        help="inject the plan this many sim-seconds in")
+    parser.add_argument("--faults-duration", type=float, default=30.0,
+                        help="clear the plan after this many sim-seconds")
     args = parser.parse_args(argv)
 
     if args.figure == "list":
         for key, module in sorted(ALL_EXPERIMENTS.items()):
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{key:8s} {doc}")
+        print("\nfault plans (--faults):")
+        for key, (_, description) in sorted(BUILTIN_PLANS.items()):
+            print(f"{key:18s} {description}")
         return 0
+
+    if args.faults is not None:
+        try:
+            plan = builtin_plan(args.faults, at=args.faults_at,
+                                duration=args.faults_duration)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        set_ambient_plan(plan)
 
     if args.figure == "all":
         names = sorted(ALL_EXPERIMENTS)
@@ -47,15 +72,24 @@ def main(argv=None) -> int:
         return 2
 
     all_ok = True
-    for name in names:
-        start = time.time()
-        result = ALL_EXPERIMENTS[name].run(seed=args.seed)
-        result.print()
-        if not args.no_plots:
-            for series_name, series in sorted(result.series.items()):
-                print("   " + render_series(series_name, series, width=56))
-        print(f"   ({time.time() - start:.1f}s wall)")
-        all_ok = all_ok and result.all_claims_hold
+    try:
+        for name in names:
+            start = time.time()
+            result = ALL_EXPERIMENTS[name].run(seed=args.seed)
+            result.print()
+            if args.faults is not None and not result.faults:
+                # The harness did not surface an injector summary itself;
+                # still label the run so it can't pass as a baseline.
+                for row in render_faults({"plan": args.faults}):
+                    print("   " + row)
+            if not args.no_plots:
+                for series_name, series in sorted(result.series.items()):
+                    print("   " + render_series(series_name, series,
+                                                width=56))
+            print(f"   ({time.time() - start:.1f}s wall)")
+            all_ok = all_ok and result.all_claims_hold
+    finally:
+        clear_ambient_plan()
     return 0 if all_ok else 1
 
 

@@ -13,8 +13,8 @@ from ..cluster.deployment import Deployment
 from ..cluster.spec import DeploymentSpec
 from ..proxygen.config import ProxygenConfig
 
-__all__ = ["ExperimentResult", "build_deployment", "sum_counter",
-           "aggregate_series", "mean"]
+__all__ = ["ExperimentResult", "build_deployment", "fault_summary",
+           "sum_counter", "aggregate_series", "mean"]
 
 
 @dataclass
@@ -23,7 +23,10 @@ class ExperimentResult:
 
     ``series`` holds named (time, value) curves (the figure's lines);
     ``scalars`` holds the headline numbers; ``claims`` records the
-    paper-shape checks the benchmark asserts.
+    paper-shape checks the benchmark asserts; ``faults`` carries the
+    injector summary when the run executed under a fault plan (see
+    :mod:`repro.faults`), so a figure rerun under chaos is labelled as
+    such.
     """
 
     name: str
@@ -31,6 +34,7 @@ class ExperimentResult:
     series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
     scalars: dict[str, float] = field(default_factory=dict)
     claims: dict[str, bool] = field(default_factory=dict)
+    faults: dict[str, Any] = field(default_factory=dict)
 
     def rows(self) -> list[str]:
         """Human-readable result rows (what the bench prints)."""
@@ -41,6 +45,9 @@ class ExperimentResult:
             out.append(f"   {key} = {value:.6g}")
         for key, ok in sorted(self.claims.items()):
             out.append(f"   claim[{key}] = {'PASS' if ok else 'FAIL'}")
+        if self.faults:
+            from ..metrics.report import render_faults
+            out.extend("   " + row for row in render_faults(self.faults))
         return out
 
     def print(self) -> None:
@@ -63,8 +70,15 @@ def build_deployment(seed: int = 0,
                      web: Optional[WebWorkloadConfig] = None,
                      mqtt: Optional[MqttWorkloadConfig] = None,
                      quic: Optional[QuicWorkloadConfig] = None,
+                     fault_plan=None,
                      **spec_kwargs) -> Deployment:
-    """A deployment sized for experiment runtime (seconds, not minutes)."""
+    """A deployment sized for experiment runtime (seconds, not minutes).
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) attaches fault
+    injection for this run; without it, a plan set via
+    :func:`repro.faults.set_ambient_plan` (the CLI's ``--faults``) still
+    applies.
+    """
     spec = DeploymentSpec(
         seed=seed,
         edge_proxies=edge_proxies,
@@ -81,9 +95,15 @@ def build_deployment(seed: int = 0,
         mqtt_workload=mqtt,
         quic_workload=quic,
         **spec_kwargs)
-    deployment = Deployment(spec)
+    deployment = Deployment(spec, fault_plan=fault_plan)
     deployment.start()
     return deployment
+
+
+def fault_summary(deployment: Deployment) -> dict:
+    """The injector summary of this run ({} when no plan attached)."""
+    injector = deployment.fault_injector
+    return injector.summary() if injector is not None else {}
 
 
 def sum_counter(servers, name: str, tag: Optional[str] = None) -> float:

@@ -79,6 +79,11 @@ class Katran:
         self.lru: LruConnectionTable[tuple, str] = LruConnectionTable(
             self.config.lru_capacity)
         self.counters = host.metrics.scoped_counters(f"{name}@{host.name}")
+        #: Fault-injection hook (repro.faults "hc_flap"): backend ip →
+        #: probability that an otherwise-successful probe is reported as
+        #: failed, reproducing the §5.1 health-check flap incidents.
+        self.forced_probe_failure: dict[str, float] = {}
+        self._fault_rng = host.streams.stream("hc-fault")
         self._process: Optional[SimProcess] = None
         for backend in backends:
             self.add_backend(backend)
@@ -156,6 +161,10 @@ class Katran:
             self.host.streams.stream("hc-phase").uniform(0, config.hc_interval))
         while process.alive:
             healthy = yield from self._probe(process, state)
+            forced = self.forced_probe_failure.get(state.host.ip, 0.0)
+            if healthy and forced > 0 and self._fault_rng.random() < forced:
+                healthy = False
+                self.counters.inc("hc_probe_forced_fail")
             self._mark(state, healthy)
             self.counters.inc("hc_probe", tag="ok" if healthy else "fail")
             yield self.host.env.timeout(config.hc_interval)

@@ -46,13 +46,22 @@ class LruConnectionTable(Generic[Key, Value]):
         return None
 
     def put(self, key: Key, value: Value) -> None:
-        """Record the routing decision for a flow."""
+        """Record the routing decision for a flow.
+
+        A refresh of an existing flow only updates value/recency — it can
+        never evict.  A genuinely new flow at capacity evicts the LRU
+        entry *before* inserting, so the table never transiently exceeds
+        its capacity and the eviction counter counts exactly the new
+        inserts that displaced someone.
+        """
         if key in self._table:
             self._table.move_to_end(key)
-        self._table[key] = value
-        if len(self._table) > self.capacity:
+            self._table[key] = value
+            return
+        if len(self._table) >= self.capacity:
             self._table.popitem(last=False)
             self.evictions += 1
+        self._table[key] = value
 
     def invalidate(self, key: Key) -> None:
         self._table.pop(key, None)

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-__all__ = ["sparkline", "render_series", "render_comparison"]
+__all__ = ["sparkline", "render_series", "render_comparison",
+           "render_faults"]
 
 _TICKS = "▁▂▃▄▅▆▇█"
 
@@ -59,6 +60,30 @@ def render_series(name: str, series: Sequence[tuple[float, float]],
     return (f"{name:24s} {spark}  "
             f"[{min(v for _, v in series):.3g} .. "
             f"{max(v for _, v in series):.3g}]")
+
+
+def render_faults(summary: dict) -> list[str]:
+    """Rows describing an attached fault plan (injector ``summary()``).
+
+    Printed alongside a figure's scalars so a run under chaos is never
+    mistaken for a clean baseline.
+    """
+    if not summary:
+        return []
+    rows = [f"faults: plan '{summary.get('plan', '?')}'"
+            + (f" — {summary['description']}"
+               if summary.get("description") else "")]
+    for event in summary.get("events", ()):
+        window = "never injected"
+        if event.get("injected_at") is not None:
+            cleared = event.get("cleared_at")
+            until = f"{cleared:g}" if cleared is not None else "end"
+            window = f"[{event['injected_at']:g} .. {until}]"
+        rows.append(
+            f"  {event['kind']:18s} {event['where']:16s} "
+            f"{event['state']:9s} {window} "
+            f"({len(event.get('targets', []))} targets)")
+    return rows
 
 
 def render_comparison(series_map: dict[str, Sequence[tuple[float, float]]],

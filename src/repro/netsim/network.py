@@ -86,6 +86,15 @@ class Network:
         if symmetric:
             self._profiles[(dst_site, src_site)] = profile
 
+    def get_profile(self, src_site: str, dst_site: str) -> LinkProfile:
+        """The profile a transmission between these sites would use.
+
+        Fault injection reads this before degrading a link so it can
+        restore the exact original afterwards.
+        """
+        return self._profiles.get((src_site, dst_site),
+                                  self.default_profile)
+
     def profile_between(self, src: "Host", dst: "Host") -> LinkProfile:
         if src is dst:
             return self.local_profile

@@ -46,7 +46,10 @@ class SimProcess:
         self.alive = True
         self.exit_reason: Optional[str] = None
         self.fd_table = FileTable()
-        self._endpoints: set["TcpEndpoint"] = set()
+        # Insertion-ordered (dict-as-set): exit() aborts endpoints in a
+        # deterministic order; a real set of identity-hashed objects
+        # would reorder the abort events from run to run.
+        self._endpoints: dict["TcpEndpoint", None] = {}
         self._tasks: list[Process] = []
         #: Resident memory attributable to this process (model units).
         self.base_memory = 0.0
@@ -65,10 +68,10 @@ class SimProcess:
     # -- connection ownership ----------------------------------------------------
 
     def adopt_endpoint(self, endpoint: "TcpEndpoint") -> None:
-        self._endpoints.add(endpoint)
+        self._endpoints[endpoint] = None
 
     def forget_endpoint(self, endpoint: "TcpEndpoint") -> None:
-        self._endpoints.discard(endpoint)
+        self._endpoints.pop(endpoint, None)
 
     @property
     def connection_count(self) -> int:

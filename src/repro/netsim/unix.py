@@ -104,6 +104,15 @@ class UnixChannelEnd:
 
         def _install(ev) -> None:
             message: UnixMessage = ev._value
+            if self.closed or not self.process.alive:
+                # The receiver died (or closed the channel) while the
+                # message was in flight — e.g. a takeover client reaped
+                # after a handshake timeout.  Installing into its table
+                # would leak the descriptions forever; drop the in-flight
+                # references instead.
+                for description in message.descriptions:
+                    description.decref()
+                return
             new_fds = []
             for description in message.descriptions:
                 new_fds.append(self.process.fd_table.install(description))

@@ -10,7 +10,7 @@ from .context import ProxyTierContext
 from .ops import OrphanReport, audit_orphaned_udp_sockets, force_close_orphans
 from .instance import ProxygenInstance
 from .server import ProxygenServer
-from .takeover import SocketMeta, TakeoverResult
+from .takeover import SocketMeta, TakeoverFailed, TakeoverResult
 from .tunnels import EdgeMqttTunnel, OriginMqttTunnel
 from .udp import ForwardedPacket, QuicService
 from .upstream import UpstreamPool, UpstreamUnavailable
@@ -21,6 +21,7 @@ __all__ = [
     "ProxygenServer",
     "ProxyTierContext",
     "SocketMeta",
+    "TakeoverFailed",
     "TakeoverResult",
     "EdgeMqttTunnel",
     "OriginMqttTunnel",

@@ -49,6 +49,12 @@ class ProxygenConfig:
     enable_dcr: bool = True
     #: Unix path of the Socket Takeover server.
     takeover_path: str = "/run/proxygen.takeover"
+    #: Seconds either side of the §4.1 handshake waits on a peer message
+    #: before giving up.  Client-side expiry fails the takeover (the new
+    #: instance is reaped and the release retried); server-side expiry
+    #: just abandons the session so the serial takeover server cannot be
+    #: wedged by a stalled successor.
+    takeover_handshake_timeout: float = 30.0
     #: Seconds a cold process needs before it can bind (config load etc).
     spawn_delay: float = 2.0
     #: CPU model prices.
@@ -76,3 +82,5 @@ class ProxygenConfig:
             raise ValueError("durations must be non-negative")
         if self.udp_sockets_per_vip <= 0:
             raise ValueError("need at least one UDP socket per VIP")
+        if self.takeover_handshake_timeout <= 0:
+            raise ValueError("takeover_handshake_timeout must be positive")

@@ -203,7 +203,8 @@ class ProxygenInstance:
         for vip_name, listener in self.tcp_listeners.items():
             self._serving_tasks.append(
                 run(self._accept_loop(vip_name, listener)))
-        if not self.config.buggy_ignore_received_udp_fds:
+        if not (self.config.buggy_ignore_received_udp_fds
+                or self.server.fault_ignore_udp_fds):
             for vip_name, sockets in self.udp_sockets.items():
                 for sock in sockets:
                     self._serving_tasks.append(

@@ -42,6 +42,12 @@ class ProxygenServer:
         self.active_instance: Optional[ProxygenInstance] = None
         self.draining_instance: Optional[ProxygenInstance] = None
         self.releases_completed = 0
+        #: Fault-injection hooks (repro.faults).  ``takeover_fault`` makes
+        #: the *next* takeover handshake misbehave server-side ("stall" |
+        #: "abort" | None); ``fault_ignore_udp_fds`` reproduces the §5.1
+        #: UDP-socket leak per machine without mutating the shared config.
+        self.takeover_fault: Optional[str] = None
+        self.fault_ignore_udp_fds: bool = False
 
     # -- views ----------------------------------------------------------
 
@@ -94,7 +100,15 @@ class ProxygenServer:
         new = self._new_instance()
         # The takeover handshake itself flips ``old`` into draining
         # (steps D/E happen server-side inside the protocol).
-        yield from new.start_via_takeover()
+        try:
+            yield from new.start_via_takeover()
+        except BaseException:
+            # Failed/stalled handshake: reap the half-born generation
+            # (dropping any FDs it received) and leave ``old`` serving —
+            # it only starts draining on a *confirmed* handshake.
+            self.counters.inc("takeover_failed")
+            new.shutdown("takeover_failed")
+            raise
         self.draining_instance = old
         self.active_instance = new
 
@@ -108,6 +122,26 @@ class ProxygenServer:
         new = self._new_instance()
         yield from new.start_fresh()
         self.active_instance = new
+
+    def crash(self) -> None:
+        """Fault path: every generation on this machine dies *now*.
+
+        Connections get RST, the kernel reaps the FDs, Katran's probes
+        start failing — the §5 incident view of a dead L7LB.
+        """
+        for instance in (self.draining_instance, self.active_instance):
+            if instance is not None and instance.alive:
+                instance.shutdown("fault:crash")
+        self.counters.inc("crashes")
+
+    def reboot(self):
+        """Generator: cold-boot after a :meth:`crash` (fresh bind)."""
+        if self.active_instance is not None and self.active_instance.alive:
+            return
+        instance = self._new_instance()
+        yield from instance.start_fresh()
+        self.active_instance = instance
+        self.counters.inc("reboots")
 
     def on_instance_exit(self, instance: ProxygenInstance) -> None:
         """Bookkeeping when a generation's process terminates."""

@@ -21,11 +21,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from ..netsim.proc_utils import TIMED_OUT, with_timeout
+
 if TYPE_CHECKING:  # pragma: no cover
     from .instance import ProxygenInstance
 
-__all__ = ["SocketMeta", "TakeoverResult", "run_takeover_server_session",
-           "run_takeover_client"]
+__all__ = ["SocketMeta", "TakeoverResult", "TakeoverFailed",
+           "run_takeover_server_session", "run_takeover_client"]
+
+
+class TakeoverFailed(RuntimeError):
+    """The §4.1 handshake did not complete (stall, abort, bad reply).
+
+    Raised client-side; the caller must reap the half-born instance and
+    leave the old generation serving.  Subclasses ``RuntimeError`` so
+    pre-existing handlers keep working.
+    """
 
 
 @dataclass(frozen=True)
@@ -50,11 +61,38 @@ class TakeoverResult:
 def run_takeover_server_session(instance: "ProxygenInstance", channel):
     """Generator: serve one takeover exchange on the old instance's side.
 
-    Ends with the old instance in draining state (step E).
+    Ends with the old instance in draining state (step E).  Every recv
+    is bounded by ``takeover_handshake_timeout``: the takeover server
+    handles sessions serially, so a successor that stalls mid-handshake
+    must not wedge the accept loop forever.
     """
-    payload, _fds = yield channel.recv()
+    env = instance.host.env
+    timeout = instance.config.takeover_handshake_timeout
+    outcome = yield from with_timeout(env, channel.recv(), timeout)
+    if outcome is TIMED_OUT:
+        instance.counters.inc("takeover_session_timeout")
+        channel.close()
+        return False
+    payload, _fds = outcome
     if not isinstance(payload, dict) or payload.get("type") != "request_fds":
         channel.send({"type": "error", "reason": "bad request"})
+        return False
+
+    fault = getattr(instance.server, "takeover_fault", None)
+    if fault == "stall":
+        # Injected fault: the old instance wedges mid-handshake and never
+        # sends the FD bundle.  The client gives up at its own handshake
+        # timeout; we park long enough to be sure of that, then abandon
+        # the session so the serial loop can take the retry.
+        instance.counters.inc("takeover_fault", tag="stall")
+        yield env.timeout(timeout * 2)
+        channel.close()
+        return False
+    if fault == "abort":
+        # Injected fault: the old instance actively refuses (a crashed
+        # takeover thread responding with garbage).
+        instance.counters.inc("takeover_fault", tag="abort")
+        channel.send({"type": "error", "reason": "fault:abort"})
         return False
 
     meta, fds = _collect_fd_bundle(instance)
@@ -67,7 +105,15 @@ def run_takeover_server_session(instance: "ProxygenInstance", channel):
         fds=tuple(fds),
     )
 
-    payload, _fds = yield channel.recv()
+    outcome = yield from with_timeout(env, channel.recv(), timeout)
+    if outcome is TIMED_OUT:
+        # The successor took the FDs and vanished.  Do NOT drain: no
+        # confirm means nobody promised to serve; our references keep
+        # the sockets alive and we stay active.
+        instance.counters.inc("takeover_session_timeout")
+        channel.close()
+        return False
+    payload, _fds = outcome
     if not isinstance(payload, dict) or payload.get("type") != "confirm":
         channel.send({"type": "error", "reason": "expected confirm"})
         return False
@@ -104,15 +150,24 @@ def run_takeover_client(instance: "ProxygenInstance"):
     """Generator: the new instance's side of the handshake.
 
     Returns a :class:`TakeoverResult`; raises whatever the transport
-    raises if there is no takeover server (first boot on a machine).
+    raises if there is no takeover server (first boot on a machine), and
+    :class:`TakeoverFailed` when the old instance stalls past
+    ``takeover_handshake_timeout`` or answers garbage.
     """
     host = instance.host
+    timeout = instance.config.takeover_handshake_timeout
     channel = yield host.unix_connect(instance.process,
                                       instance.config.takeover_path)
     channel.send({"type": "request_fds"})
-    payload, fds = yield channel.recv()
+    outcome = yield from with_timeout(host.env, channel.recv(), timeout)
+    if outcome is TIMED_OUT:
+        # A late FD bundle must not leak: closing the channel makes the
+        # in-flight install path drop its references instead.
+        channel.close()
+        raise TakeoverFailed("timed out waiting for the FD bundle")
+    payload, fds = outcome
     if payload.get("type") != "fds":
-        raise RuntimeError(f"unexpected takeover reply: {payload!r}")
+        raise TakeoverFailed(f"unexpected takeover reply: {payload!r}")
 
     meta: list[SocketMeta] = payload["meta"]
     old_forward_port = payload.get("forward_port")
@@ -125,8 +180,17 @@ def run_takeover_client(instance: "ProxygenInstance"):
             udp_fds.setdefault(entry.vip_name, []).append(fd)
 
     channel.send({"type": "confirm"})
-    payload, _ = yield channel.recv()
-    drain_confirmed = payload.get("type") == "drain_started"
+    outcome = yield from with_timeout(host.env, channel.recv(), timeout)
+    if outcome is TIMED_OUT:
+        # We already hold the FDs and sent confirm — the takeover stands
+        # even if the drain ack never arrives (the old instance may have
+        # died right after draining started).  Record it, keep serving.
+        channel.close()
+        instance.counters.inc("takeover_drain_unconfirmed")
+        drain_confirmed = False
+    else:
+        payload, _ = outcome
+        drain_confirmed = payload.get("type") == "drain_started"
     return TakeoverResult(
         tcp_listener_fds=tcp_fds,
         udp_socket_fds=udp_fds,

@@ -7,12 +7,13 @@ a runnable mini HTTP server that restarts with zero downtime
 (:mod:`.miniproxy`).
 """
 
-from .fd_passing import MAX_FDS, recv_message, send_message
+from .fd_passing import MAX_FDS, close_fds, recv_message, send_message
 from .miniproxy import MiniServer
 from .takeover import TakenOverSockets, TakeoverServer, request_takeover
 
 __all__ = [
     "MAX_FDS",
+    "close_fds",
     "recv_message",
     "send_message",
     "MiniServer",

@@ -150,8 +150,9 @@ def _child_main(argv: list[str]) -> int:
         except KeyboardInterrupt:  # pragma: no cover
             pass
         return 0
-    deadline = time.time() + 30
-    while server.requests_served < wanted and time.time() < deadline:
+    # monotonic: a wall-clock step (NTP, DST) must not break the bound.
+    deadline = time.monotonic() + 30
+    while server.requests_served < wanted and time.monotonic() < deadline:
         time.sleep(0.01)
     server.stop()
     print(f"served {server.requests_served}")

@@ -15,7 +15,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from .fd_passing import recv_message, send_message
+from .fd_passing import close_fds, recv_message, send_message
 
 __all__ = ["TakeoverServer", "request_takeover", "TakenOverSockets"]
 
@@ -84,21 +84,29 @@ class TakeoverServer:
             except OSError:
                 return
             try:
+                # A malformed or vanished peer must not take the takeover
+                # server down with it: the serving process keeps its
+                # sockets and the next release attempt can try again.
+                conn.settimeout(30.0)
                 self._handle(conn)
+            except (ConnectionError, ValueError, OSError):
+                pass
             finally:
                 conn.close()
 
     def _handle(self, conn: socket.socket) -> None:
-        payload, _ = recv_message(conn)
-        if payload.get("type") != "request_fds":
+        payload, stray = recv_message(conn)
+        close_fds(stray)  # clients have no business sending us FDs
+        if not isinstance(payload, dict) or payload.get("type") != "request_fds":
             send_message(conn, {"type": "error", "reason": "bad request"})
             return
         names = sorted(self.sockets)
         fds = tuple(self.sockets[name].fileno() for name in names)
         send_message(conn, {"type": "fds", "names": names,
                             "extra": self.extra}, fds=fds)
-        payload, _ = recv_message(conn)
-        if payload.get("type") != "confirm":
+        payload, stray = recv_message(conn)
+        close_fds(stray)
+        if not isinstance(payload, dict) or payload.get("type") != "confirm":
             send_message(conn, {"type": "error",
                                 "reason": "expected confirm"})
             return
@@ -115,25 +123,40 @@ def request_takeover(path: str, timeout: float = 5.0) -> TakenOverSockets:
     immediately.
     """
     client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    # settimeout() bounds each blocking call by *duration*, so unlike a
+    # wall-clock deadline it is immune to clock steps (same discipline
+    # as miniproxy's monotonic serve deadline).
     client.settimeout(timeout)
     try:
         client.connect(path)
         send_message(client, {"type": "request_fds"})
         payload, fds = recv_message(client)
-        if payload.get("type") != "fds":
-            raise RuntimeError(f"unexpected reply {payload!r}")
-        names = payload["names"]
-        extra = payload.get("extra", {})
-        if len(names) != len(fds):
-            raise RuntimeError("fd count does not match metadata")
+        try:
+            if not isinstance(payload, dict) or payload.get("type") != "fds":
+                raise RuntimeError(f"unexpected reply {payload!r}")
+            names = payload["names"]
+            extra = payload.get("extra", {})
+            if len(names) != len(fds):
+                raise RuntimeError("fd count does not match metadata")
+        except BaseException:
+            close_fds(fds)
+            raise
         sockets = {
             name: socket.socket(fileno=fd)
             for name, fd in zip(names, fds)
         }
-        send_message(client, {"type": "confirm"})
-        payload, _ = recv_message(client)
-        if payload.get("type") != "drain_started":
-            raise RuntimeError(f"takeover not confirmed: {payload!r}")
+        try:
+            send_message(client, {"type": "confirm"})
+            payload, _ = recv_message(client)
+            if (not isinstance(payload, dict)
+                    or payload.get("type") != "drain_started"):
+                raise RuntimeError(f"takeover not confirmed: {payload!r}")
+        except BaseException:
+            # The sockets wrap the received descriptors; closing them
+            # releases every reference this process took.
+            for sock in sockets.values():
+                sock.close()
+            raise
         return TakenOverSockets(sockets=sockets, extra=extra)
     finally:
         client.close()

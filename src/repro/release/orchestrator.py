@@ -5,6 +5,12 @@ release updates to subsets of machines in batches."  The orchestrator
 restarts targets batch by batch; how disruptive that is depends entirely
 on each target's restart strategy (Zero Downtime vs HardRestart vs the
 app tier's drain-and-replace).
+
+Hardening (the fault-injection companion, :mod:`repro.faults`): a batch
+can be bounded by ``batch_timeout``, failed targets are retried with
+exponential backoff up to ``max_attempts``, and once permanent failures
+exceed ``error_budget`` the release aborts — optionally rolling the
+already-released targets back in reverse order.
 """
 
 from __future__ import annotations
@@ -13,8 +19,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..netsim.proc_utils import TIMED_OUT, with_timeout
 from ..simkernel.core import Environment
-from ..simkernel.events import AllOf
+from ..simkernel.events import AllOf, Interrupt
 
 __all__ = ["BatchRecord", "RollingRelease", "RollingReleaseConfig"]
 
@@ -30,11 +37,36 @@ class RollingReleaseConfig:
     #: Extra wait after each batch completes before the next starts
     #: (production waits out the drain to preserve capacity).
     post_batch_wait: float = 0.0
+    #: Deadline for one batch attempt; stragglers are interrupted and
+    #: count as failures for that attempt (None = wait forever).
+    batch_timeout: Optional[float] = None
+    #: Release attempts per batch (1 = no retry).
+    max_attempts: int = 1
+    #: Idle wait before the first retry of a batch...
+    retry_backoff: float = 5.0
+    #: ...multiplied by this factor for each further retry.
+    backoff_factor: float = 2.0
+    #: Permanently-failed targets tolerated before the release aborts
+    #: (None = keep going no matter what; 0 = abort on the first).
+    error_budget: Optional[int] = None
+    #: On abort, re-release the already-completed targets in reverse
+    #: order (the "roll back to the old version" arm).
+    rollback_on_abort: bool = False
 
     def batches(self, count: int) -> int:
         if not 0 < self.batch_fraction <= 1:
             raise ValueError("batch_fraction must be in (0, 1]")
         return max(1, math.ceil(count * self.batch_fraction))
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.retry_backoff < 0 or self.backoff_factor <= 0:
+            raise ValueError("retry backoff settings must be positive")
+        if self.batch_timeout is not None and self.batch_timeout <= 0:
+            raise ValueError("batch_timeout must be positive")
+        if self.error_budget is not None and self.error_budget < 0:
+            raise ValueError("error_budget must be >= 0")
 
 
 @dataclass
@@ -45,6 +77,12 @@ class BatchRecord:
     targets: list[str]
     started_at: float
     finished_at: float = 0.0
+    #: Release attempts this batch consumed (1 = first try succeeded).
+    attempts: int = 1
+    #: Targets still failed after the last attempt.
+    failed: list[str] = field(default_factory=list)
+    #: Whether any attempt hit the batch deadline.
+    timed_out: bool = False
 
 
 class RollingRelease:
@@ -64,6 +102,19 @@ class RollingRelease:
         self.batches: list[BatchRecord] = []
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: Set when the error budget was exhausted and the walk stopped.
+        self.aborted = False
+        #: Target names that never released (all attempts failed).
+        self.failed_targets: list[str] = []
+        #: Last error string per target that ever failed an attempt.
+        self.errors: dict[str, str] = {}
+        #: Target names rolled back after an abort.
+        self.rolled_back: list[str] = []
+        self._released: list = []  # target objects, in completion order
+
+    @property
+    def completed_targets(self) -> list[str]:
+        return [self._target_name(t) for t in self._released]
 
     @staticmethod
     def _restart_generator(target):
@@ -78,8 +129,9 @@ class RollingRelease:
         return getattr(target, "name", repr(target))
 
     def execute(self):
-        """Generator: run the release to completion."""
+        """Generator: run the release to completion (or abort)."""
         config = self.config
+        config.validate()
         self.started_at = self.env.now
         batch_size = config.batches(len(self.targets))
         # Walk the fleet in fixed order, batch_size at a time.
@@ -90,17 +142,114 @@ class RollingRelease:
                 index=index,
                 targets=[self._target_name(t) for t in batch],
                 started_at=self.env.now)
-            tasks = [self.env.process(self._restart_generator(target))
-                     for target in batch]
-            yield AllOf(self.env, tasks)
+            yield from self._run_batch(batch, record)
             if config.post_batch_wait > 0:
                 yield self.env.timeout(config.post_batch_wait)
             record.finished_at = self.env.now
             self.batches.append(record)
+            if (config.error_budget is not None
+                    and len(self.failed_targets) > config.error_budget):
+                self.aborted = True
+                if config.rollback_on_abort:
+                    yield from self._rollback()
+                break
             more = start + batch_size < len(self.targets)
             if more and config.inter_batch_gap > 0:
                 yield self.env.timeout(config.inter_batch_gap)
         self.finished_at = self.env.now
+
+    def _run_batch(self, batch, record: BatchRecord):
+        """Generator: one batch through up to ``max_attempts`` rounds."""
+        config = self.config
+        pending = list(batch)
+        backoff = config.retry_backoff
+        for attempt in range(1, config.max_attempts + 1):
+            record.attempts = attempt
+            outcomes: dict[str, Optional[str]] = {}
+            # Build restart generators eagerly so a non-restartable
+            # target raises TypeError out of execute() itself.
+            tasks = [
+                self.env.process(
+                    self._guarded(target, self._restart_generator(target),
+                                  outcomes))
+                for target in pending
+            ]
+            waiter = AllOf(self.env, tasks)
+            if config.batch_timeout is not None:
+                outcome = yield from with_timeout(
+                    self.env, waiter, config.batch_timeout)
+                if outcome is TIMED_OUT:
+                    record.timed_out = True
+                    for task in tasks:
+                        if task.is_alive:
+                            task.interrupt("batch_timeout")
+                    # Let the guards unwind (recording their outcomes)
+                    # before we read them; interrupts land urgently, so
+                    # this second wait completes at the same sim time.
+                    yield AllOf(self.env, tasks)
+            else:
+                yield waiter
+            still_failed = []
+            for target in pending:
+                error = outcomes.get(self._target_name(target))
+                if error is not None:
+                    still_failed.append(target)
+                    self.errors[self._target_name(target)] = error
+            pending = still_failed
+            if not pending:
+                return
+            if attempt < config.max_attempts:
+                yield self.env.timeout(backoff)
+                backoff *= config.backoff_factor
+        for target in pending:
+            name = self._target_name(target)
+            self.failed_targets.append(name)
+            record.failed.append(name)
+
+    def _guarded(self, target, generator, outcomes: dict):
+        """Generator: run one restart, mapping its fate into ``outcomes``.
+
+        The guard never fails its process — a raising target must not
+        tear down the whole batch's AllOf.
+        """
+        name = self._target_name(target)
+        try:
+            yield from generator
+        except Interrupt as exc:
+            outcomes[name] = f"interrupted: {exc.cause}"
+            return
+        except Exception as exc:
+            outcomes[name] = f"{type(exc).__name__}: {exc}"
+            return
+        outcomes[name] = None
+        self._released.append(target)
+
+    def _rollback(self):
+        """Generator: re-release completed targets, newest first.
+
+        In the simulation "rolling back" is another restart (the binary
+        version is not modelled); what matters is the orchestration —
+        sequential, reverse order, best-effort.
+        """
+        for target in reversed(list(self._released)):
+            name = self._target_name(target)
+            try:
+                yield from self._restart_generator(target)
+            except Exception as exc:  # best-effort: record and move on
+                self.errors[name] = f"rollback: {type(exc).__name__}: {exc}"
+                continue
+            self.rolled_back.append(name)
+
+    def summary(self) -> dict:
+        """Compact dict for the metrics report's ``release`` section."""
+        return {
+            "batches": len(self.batches),
+            "attempts": sum(b.attempts for b in self.batches),
+            "timed_out_batches": sum(1 for b in self.batches if b.timed_out),
+            "failed_targets": list(self.failed_targets),
+            "aborted": self.aborted,
+            "rolled_back": list(self.rolled_back),
+        }
 
     @property
     def duration(self) -> float:

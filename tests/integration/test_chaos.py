@@ -1,0 +1,28 @@
+"""The acceptance bar for the fault subsystem: the Fig 12 deployment,
+released through the hardened orchestrator while a health-check-flap
+storm rages, and ZDR must still beat HardRestart on error ratio."""
+
+from repro.experiments import chaos
+
+
+def test_chaos_zdr_beats_hard_under_hc_flap_storm():
+    result = chaos.run(seed=0)
+    assert result.all_claims_hold, result.claims
+    # The run is labelled with its fault plan.
+    assert result.faults["plan"] == "hc-flap-storm"
+    (event,) = result.faults["events"]
+    assert event["state"] == "cleared"
+    assert event["targets"]
+    # The hardened orchestrator walked the whole edge tier in both arms.
+    assert result.scalars["released_zdr"] == 4
+    assert result.scalars["released_hard"] == 4
+
+
+def test_chaos_arm_deterministic():
+    a = chaos.run_arm(True, seed=11, warmup=10.0, measure=30.0,
+                      fault_at=4.0, fault_duration=15.0)
+    b = chaos.run_arm(True, seed=11, warmup=10.0, measure=30.0,
+                      fault_at=4.0, fault_duration=15.0)
+    assert a["errors"] == b["errors"]
+    assert a["requests_ok"] == b["requests_ok"]
+    assert a["forced_probe_fails"] == b["forced_probe_fails"]

@@ -121,3 +121,127 @@ def test_duration_before_completion_raises():
     release = RollingRelease(env, _targets(env, 2))
     with pytest.raises(RuntimeError):
         release.duration
+
+
+# -- hardening: timeout / retry / abort / rollback -------------------------
+
+
+class FlakyTarget:
+    """Fails its first ``failures`` release attempts, then succeeds."""
+
+    def __init__(self, env, name, failures=1, duration=5.0):
+        self.env = env
+        self.name = name
+        self.failures = failures
+        self.duration = duration
+        self.attempts = 0
+        self.restarts = []
+
+    def release(self):
+        self.attempts += 1
+        yield self.env.timeout(self.duration)
+        if self.attempts <= self.failures:
+            raise RuntimeError(f"boom #{self.attempts}")
+        self.restarts.append(self.env.now)
+
+
+class HangingTarget:
+    """Never finishes a release until interrupted."""
+
+    def __init__(self, env, name):
+        self.env = env
+        self.name = name
+        self.attempts = 0
+        self.interrupted = 0
+
+    def release(self):
+        from repro.simkernel import Interrupt
+
+        self.attempts += 1
+        try:
+            yield self.env.event()  # wait forever
+        except Interrupt:
+            self.interrupted += 1
+            raise
+
+
+def test_failed_target_retried_with_backoff():
+    env = Environment()
+    target = FlakyTarget(env, "flaky", failures=2, duration=5.0)
+    release = RollingRelease(env, [target], RollingReleaseConfig(
+        batch_fraction=1.0, max_attempts=3, retry_backoff=4.0,
+        backoff_factor=2.0))
+    env.run(until=env.process(release.execute()))
+    # attempt1 [0,5] + backoff 4 + attempt2 [9,14] + backoff 8 +
+    # attempt3 [22,27].
+    assert target.attempts == 3
+    assert target.restarts == [27.0]
+    assert not release.failed_targets
+    assert release.batches[0].attempts == 3
+    assert "flaky" in release.errors  # the last recorded failure sticks
+
+
+def test_exhausted_attempts_mark_target_failed():
+    env = Environment()
+    target = FlakyTarget(env, "flaky", failures=99)
+    good = FakeTarget(env, "good", 1.0)
+    release = RollingRelease(env, [good, target], RollingReleaseConfig(
+        batch_fraction=1.0, max_attempts=2, retry_backoff=1.0))
+    env.run(until=env.process(release.execute()))
+    assert release.failed_targets == ["flaky"]
+    assert release.batches[0].failed == ["flaky"]
+    assert good.restarts  # the healthy half of the batch still released
+    # The retry round must not re-release already-completed targets.
+    assert len(good.restarts) == 1
+
+
+def test_batch_timeout_interrupts_stragglers():
+    env = Environment()
+    hung = HangingTarget(env, "hung")
+    good = FakeTarget(env, "good", 2.0)
+    release = RollingRelease(env, [good, hung], RollingReleaseConfig(
+        batch_fraction=1.0, batch_timeout=10.0))
+    env.run(until=env.process(release.execute()))
+    assert hung.interrupted == 1
+    assert release.batches[0].timed_out
+    assert release.failed_targets == ["hung"]
+    assert release.errors["hung"].startswith("interrupted")
+    assert good.restarts  # finished well inside the deadline
+    assert release.duration == 10.0
+
+
+def test_error_budget_aborts_release():
+    env = Environment()
+    targets = [FlakyTarget(env, "bad0", failures=99, duration=1.0),
+               FakeTarget(env, "ok1", 1.0),
+               FakeTarget(env, "ok2", 1.0)]
+    release = RollingRelease(env, targets, RollingReleaseConfig(
+        batch_fraction=0.34, error_budget=0))
+    env.run(until=env.process(release.execute()))
+    # Batch 1 = bad0+ok1 -> one failure > budget 0 -> abort before ok2.
+    assert release.aborted
+    assert release.failed_targets == ["bad0"]
+    assert not targets[2].restarts
+    assert release.summary()["aborted"] is True
+
+
+def test_rollback_rereleases_completed_in_reverse():
+    env = Environment()
+    ok = FakeTarget(env, "ok", 1.0)
+    bad = FlakyTarget(env, "bad", failures=99, duration=1.0)
+    release = RollingRelease(env, [ok, bad], RollingReleaseConfig(
+        batch_fraction=0.5, error_budget=0, rollback_on_abort=True))
+    env.run(until=env.process(release.execute()))
+    assert release.aborted
+    assert release.rolled_back == ["ok"]
+    assert len(ok.restarts) == 2  # release + rollback
+
+
+def test_hardening_config_validated():
+    env = Environment()
+    for config in (RollingReleaseConfig(max_attempts=0),
+                   RollingReleaseConfig(batch_timeout=-1.0),
+                   RollingReleaseConfig(error_budget=-2)):
+        release = RollingRelease(env, _targets(env, 2), config)
+        with pytest.raises(ValueError):
+            env.run(until=env.process(release.execute()))
