@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..netsim.cpu import CpuCosts
+from ..resilience.config import ResilienceConfig
 
 __all__ = ["AppServerConfig"]
 
@@ -40,9 +41,13 @@ class AppServerConfig:
     #: codes — including bare 379s without the PartialPOST message —
     #: for this fraction of responses.  The proxy must not trust them.
     rogue_status_fraction: float = 0.0
+    #: Resilient-data-plane knobs; only the admission-control fields
+    #: apply server-side (disabled by default).
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def validate(self) -> None:
         if self.drain_duration < 0 or self.restart_downtime < 0:
             raise ValueError("durations must be non-negative")
         if self.service_time_mean <= 0:
             raise ValueError("service_time_mean must be positive")
+        self.resilience.validate()

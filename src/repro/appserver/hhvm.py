@@ -31,7 +31,9 @@ from ..protocols.http import (
     STATUS_OK,
     STATUS_PARTIAL_POST_REPLAY,
     echo_pseudo_headers,
+    shed_response,
 )
+from ..resilience.admission import AdmissionController
 from .config import AppServerConfig
 
 __all__ = ["AppServer", "InFlightPost"]
@@ -75,6 +77,11 @@ class AppServer:
         #: mid-body (the downstream proxy sees a reset, never a reply).
         self.fault_rogue_fraction: Optional[float] = None
         self.fault_truncate_fraction: float = 0.0
+        #: Drain-aware concurrency gate (None = shedding disabled).
+        self.admission: Optional[AdmissionController] = None
+        if self.config.resilience.enabled:
+            self.admission = AdmissionController(
+                self.config.resilience, self.counters, name=self.name)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -101,6 +108,9 @@ class AppServer:
         _, self.listener = self.host.kernel.tcp_listen(
             self.process, self.endpoint)
         self.state = self.STATE_ACTIVE
+        if self.admission is not None:
+            # Work in flight in the previous generation died with it.
+            self.admission.reset_inflight()
         self.process.run(self._accept_loop(self.process, self.listener))
 
     def restart(self):
@@ -206,7 +216,29 @@ class AppServer:
                     yield from self._serve_short_request(conn, payload)
             # else: ignore unknown payloads
 
+    def _shed(self, conn: TcpEndpoint, request: HttpRequest) -> bool:
+        """Shed ``request`` (503 + Retry-After) if over the intake limit."""
+        if self.admission is None:
+            return False
+        if self.admission.try_acquire(
+                draining=self.state == self.STATE_DRAINING):
+            return False
+        if conn.alive:
+            conn.send(shed_response(request.id, self.admission.retry_after),
+                      size=200)
+        self.counters.inc("http_status", tag="503")
+        return True
+
     def _serve_short_request(self, conn: TcpEndpoint, request: HttpRequest):
+        if self._shed(conn, request):
+            return
+        try:
+            yield from self._short_request_body(conn, request)
+        finally:
+            if self.admission is not None:
+                self.admission.release()
+
+    def _short_request_body(self, conn: TcpEndpoint, request: HttpRequest):
         costs = self.config.costs
         yield from self.host.cpu.execute(costs.http_request)
         yield self.host.env.timeout(
@@ -239,6 +271,15 @@ class AppServer:
 
     def _serve_streaming_post(self, conn: TcpEndpoint, request: HttpRequest):
         """Receive body chunks until done (or until a restart interrupts)."""
+        if self._shed(conn, request):
+            return
+        try:
+            yield from self._streaming_post_body(conn, request)
+        finally:
+            if self.admission is not None:
+                self.admission.release()
+
+    def _streaming_post_body(self, conn: TcpEndpoint, request: HttpRequest):
         post = InFlightPost(request, conn)
         self.in_flight_posts[request.id] = post
         costs = self.config.costs

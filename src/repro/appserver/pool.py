@@ -1,14 +1,16 @@
 """App-server pool view and upstream connection pooling for the Origin.
 
 The Origin Proxygen health-checks and load-balances across the HHVM
-fleet; this module provides (a) the pool membership/pick logic, and (b)
-a small keep-alive connection pool so the proxy does not pay a TCP
-handshake per forwarded request.
+fleet; this module provides (a) the pool membership/pick logic —
+optionally backed by a passive-health :class:`OutlierTracker` so slow or
+erroring backends are ejected from rotation instead of rediscovered per
+request — and (b) a small keep-alive connection pool so the proxy does
+not pay a TCP handshake per forwarded request.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..netsim.errors import ConnectionRefusedSim
 from ..netsim.host import Host
@@ -16,31 +18,84 @@ from ..netsim.process import SimProcess
 from ..netsim.sockets import TcpEndpoint
 from .hhvm import AppServer
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..resilience.health import OutlierTracker
+
 __all__ = ["AppServerPool", "UpstreamConnectionPool"]
 
 
 class AppServerPool:
-    """Membership + pick logic over the app-server fleet."""
+    """Membership + pick logic over the app-server fleet.
 
-    def __init__(self, servers: Optional[list[AppServer]] = None):
+    ``pick`` keeps a stable round-robin cursor over the *full*
+    membership list (not the per-call filtered view), so exclusions and
+    health changes never shift the rotation: each pick starts where the
+    previous one left off and walks forward to the first eligible
+    server.
+    """
+
+    def __init__(self, servers: Optional[list[AppServer]] = None,
+                 health: Optional["OutlierTracker"] = None):
         self.servers: list[AppServer] = list(servers or [])
         self._rr = 0
+        self.health = health
 
     def add(self, server: AppServer) -> None:
         self.servers.append(server)
 
+    def attach_health(self, tracker: "OutlierTracker") -> None:
+        """Enable passive health tracking / outlier ejection."""
+        self.health = tracker
+        tracker.membership = lambda: len(self.servers)
+
+    def _eligible(self, server: AppServer,
+                  exclude: tuple[str, ...]) -> bool:
+        if not server.accepting or server.host.ip in exclude:
+            return False
+        return self.health is None \
+            or not self.health.is_ejected(server.host.ip)
+
     def healthy(self, exclude: tuple[str, ...] = ()) -> list[AppServer]:
-        """Servers currently accepting (the proxy's health view)."""
-        return [s for s in self.servers
-                if s.accepting and s.host.ip not in exclude]
+        """Servers currently in rotation (accepting, not excluded, and —
+        with health tracking attached — not ejected as outliers)."""
+        return [s for s in self.servers if self._eligible(s, exclude)]
 
     def pick(self, exclude: tuple[str, ...] = ()) -> Optional[AppServer]:
-        """Round-robin over healthy servers, skipping ``exclude``."""
-        candidates = self.healthy(exclude)
-        if not candidates:
+        """Round-robin over eligible servers, skipping ``exclude``."""
+        count = len(self.servers)
+        if count == 0:
             return None
-        self._rr += 1
-        return candidates[self._rr % len(candidates)]
+        start = self._rr % count
+        for offset in range(count):
+            index = (start + offset) % count
+            server = self.servers[index]
+            if self._eligible(server, exclude):
+                self._rr = index + 1
+                return server
+        if self.health is not None:
+            # Panic mode: everything in rotation is ejected — serving a
+            # possibly-bad backend beats serving nobody (the tracker's
+            # max_ejected_fraction makes this rare).
+            for offset in range(count):
+                index = (start + offset) % count
+                server = self.servers[index]
+                if server.accepting and server.host.ip not in exclude:
+                    self._rr = index + 1
+                    self.health.note_panic_pick()
+                    return server
+        return None
+
+    # -- passive health forwarding ---------------------------------------
+
+    def record_success(self, ip: str,
+                       latency: Optional[float] = None) -> None:
+        if self.health is not None:
+            self.health.record_success(ip, latency)
+
+    def record_failure(self, ip: str,
+                       latency: Optional[float] = None) -> None:
+        if self.health is not None:
+            self.health.record_failure(ip, latency)
 
 
 class UpstreamConnectionPool:
@@ -48,7 +103,12 @@ class UpstreamConnectionPool:
 
     ``checkout`` hands an idle connection to the destination or dials a
     new one; ``checkin`` returns it for reuse.  Dead connections are
-    discarded on checkout.
+    discarded on checkout — but a peer that closed *after* check-in may
+    still look alive here (its FIN/RST has not arrived yet), so every
+    checked-out connection is tagged ``pool_reused`` in ``app_state``
+    and callers discard-and-redial via :meth:`note_stale_reuse` +
+    :meth:`checkout_fresh` on the first write error instead of failing
+    the backend over.
     """
 
     def __init__(self, host: Host, process: SimProcess,
@@ -59,6 +119,8 @@ class UpstreamConnectionPool:
         self._idle: dict[tuple[str, int], list[TcpEndpoint]] = {}
         self.dials = 0
         self.reuses = 0
+        #: Reused connections that turned out dead on first use.
+        self.idle_discarded = 0
 
     def checkout(self, ip: str, port: int):
         """Generator: yields a live TcpEndpoint to (ip, port).
@@ -71,12 +133,28 @@ class UpstreamConnectionPool:
             conn = idle.pop()
             if conn.alive and not conn.fin_received:
                 self.reuses += 1
+                conn.app_state["pool_reused"] = True
                 return conn
+        return (yield from self.checkout_fresh(ip, port))
+
+    def checkout_fresh(self, ip: str, port: int):
+        """Generator: always dial a new connection (never reuse idle)."""
         from ..netsim.addresses import Endpoint
         conn = yield self.host.kernel.tcp_connect(
             self.process, Endpoint(ip, port))
         self.dials += 1
+        conn.app_state["pool_reused"] = False
         return conn
+
+    @staticmethod
+    def was_reused(conn: TcpEndpoint) -> bool:
+        return bool(conn.app_state.get("pool_reused"))
+
+    def note_stale_reuse(self, conn: TcpEndpoint) -> None:
+        """A reused connection died on first use: count and bury it."""
+        self.idle_discarded += 1
+        if conn.alive:
+            conn.abort(reason="stale_idle")
 
     def checkin(self, conn: TcpEndpoint) -> None:
         """Return a connection for reuse (closes it if over the cap)."""

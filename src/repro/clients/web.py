@@ -19,7 +19,14 @@ from ..netsim.host import Host
 from ..netsim.packet import ControlType, StreamControl
 from ..netsim.proc_utils import TIMED_OUT, with_timeout
 from ..netsim.process import SimProcess
-from ..protocols.http import BodyChunk, HttpRequest, HttpResponse, STATUS_OK
+from ..protocols.http import (
+    BodyChunk,
+    HttpRequest,
+    HttpResponse,
+    RETRY_AFTER_HEADER,
+    STATUS_OK,
+    STATUS_SERVICE_UNAVAILABLE,
+)
 from ..protocols.tls import TlsClientHello, TlsServerDone
 from ..simkernel.rng import DistributionSampler
 from .base import ClientBase, Router
@@ -98,6 +105,12 @@ class WebClientPopulation:
                 done = yield from self._do_post(base, conn, sampler)
             else:
                 done = yield from self._do_get(base, conn, sampler)
+            if isinstance(done, float):
+                # Shed (503 + Retry-After): not a failure — honor the
+                # server's backoff hint, jittered so shed clients do not
+                # come back in lockstep.
+                yield env.timeout(done * (1.0 + sampler.uniform(0.0, 0.5)))
+                continue
             if not done:
                 # Request-level failure: drop the connection and let the
                 # next loop iteration reconnect (possibly elsewhere).
@@ -160,8 +173,14 @@ class WebClientPopulation:
                 # restarting app server without PPR).
                 early = conn.inbox.try_get()
                 if early is not None:
-                    return self._digest_response(base, early, start,
-                                                 kind="post")
+                    verdict = self._digest_response(base, early, start,
+                                                    kind="post")
+                    if isinstance(verdict, float) and conn.alive:
+                        # Shed mid-upload: this connection has a
+                        # dangling POST stream — retire it before the
+                        # Retry-After backoff.
+                        conn.close()
+                    return verdict
                 conn.send(BodyChunk(request.id, chunk_size, seq,
                                     is_last=(sent >= size)),
                           size=chunk_size)
@@ -190,6 +209,11 @@ class WebClientPopulation:
             return False
         response: HttpResponse = item.payload
         self.counters.inc("http_status_seen", tag=str(response.status))
+        if (response.status == STATUS_SERVICE_UNAVAILABLE
+                and RETRY_AFTER_HEADER in response.headers):
+            self.counters.inc(f"{kind}_shed")
+            self.metrics.series("client/request_shed").record(env.now)
+            return float(response.headers[RETRY_AFTER_HEADER])
         if response.status == STATUS_OK:
             self.counters.inc(f"{kind}_ok")
             self.metrics.quantiles(f"client/{kind}_latency").add(

@@ -8,9 +8,11 @@ forwards to HHVM app servers and MQTT brokers.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from ..appserver.brokers import MqttBroker
+from ..appserver.config import AppServerConfig
 from ..appserver.hhvm import AppServer
 from ..appserver.pool import AppServerPool
 from ..clients.mqtt import MqttClientPopulation
@@ -31,6 +33,8 @@ from ..netsim.network import (
 )
 from ..proxygen.context import ProxyTierContext
 from ..proxygen.server import ProxygenServer
+from ..resilience.config import ambient_resilience
+from ..resilience.health import OutlierTracker
 from ..simkernel.core import Environment
 from ..simkernel.events import AllOf
 from ..simkernel.rng import RandomStreams
@@ -100,6 +104,15 @@ class Deployment:
 
     def _build(self) -> None:
         spec = self.spec
+        # The CLI's ``--resilience`` (like ``--faults``) applies to every
+        # deployment built while it is set; never mutate the spec's own
+        # config objects — they may be shared across experiment arms.
+        ambient = ambient_resilience()
+
+        def with_ambient(config):
+            if ambient is None:
+                return config
+            return replace(config, resilience=ambient)
 
         # Brokers and app servers (Origin DC).
         for i in range(spec.brokers):
@@ -109,11 +122,14 @@ class Deployment:
             broker = MqttBroker(host, spec.broker_config)
             self.brokers.append(broker)
             self.broker_ring.add(host.ip)
+        app_config = spec.app_config
+        if ambient is not None:
+            app_config = with_ambient(app_config or AppServerConfig())
         for i in range(spec.app_servers):
             host = self._host(f"appserver-{i}", "origin",
                               spec.app_cores, spec.app_core_speed)
             self.app_hosts.append(host)
-            server = AppServer(host, spec.app_config)
+            server = AppServer(host, app_config)
             self.app_servers.append(server)
             self.app_pool.add(server)
 
@@ -124,13 +140,21 @@ class Deployment:
             app_pool=self.app_pool,
             broker_ring=self.broker_ring,
             broker_port=spec.broker_port)
+        origin_config = with_ambient(spec.resolved_origin_config())
+        if origin_config.resilience.enabled:
+            # Passive health is a *balancer-wide* view: one tracker on
+            # the shared pool, fed by every Origin proxy's outcomes.
+            self.app_pool.attach_health(OutlierTracker(
+                origin_config.resilience, self.env,
+                self.streams.stream("outlier-tracker"),
+                counters=self.metrics.scoped_counters("resilience-app")))
         for i in range(spec.origin_proxies):
             host = self._host(f"origin-proxy-{i}", "origin",
                               spec.proxy_cores, spec.proxy_core_speed)
             self.origin_hosts.append(host)
             self.origin_servers.append(ProxygenServer(
-                host, spec.resolved_origin_config(), origin_context,
-                vips=list(origin_vips)))
+                host, with_ambient(spec.resolved_origin_config()),
+                origin_context, vips=list(origin_vips)))
         origin_katran_host = self._host("origin-katran", "origin",
                                         spec.app_cores, spec.app_core_speed)
         self.origin_katran = Katran(
@@ -155,7 +179,8 @@ class Deployment:
                               spec.proxy_cores, spec.proxy_core_speed)
             self.edge_hosts.append(host)
             self.edge_servers.append(ProxygenServer(
-                host, spec.resolved_edge_config(), edge_context,
+                host, with_ambient(spec.resolved_edge_config()),
+                edge_context,
                 vips=[VIP(v.name, v.endpoint, v.protocol)
                       for v in edge_vips]))
         edge_katran_host = self._host("edge-katran", "edge",

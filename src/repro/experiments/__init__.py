@@ -7,6 +7,7 @@ assert.
 """
 
 from . import chaos
+from . import resilience
 from . import fig02_release_cadence
 from . import fig02d_misrouting
 from . import fig03_restart_implications
@@ -23,6 +24,7 @@ from .common import ExperimentResult
 
 ALL_EXPERIMENTS = {
     "chaos": chaos,
+    "resilience": resilience,
     "fig02": fig02_release_cadence,
     "fig02d": fig02d_misrouting,
     "fig03": fig03_restart_implications,

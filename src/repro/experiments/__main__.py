@@ -23,6 +23,8 @@ import time
 from ..faults import BUILTIN_PLANS, builtin_plan, clear_ambient_plan, \
     set_ambient_plan
 from ..metrics.report import render_faults, render_series
+from ..resilience import ResilienceConfig, clear_ambient_resilience, \
+    set_ambient_resilience
 from . import ALL_EXPERIMENTS
 
 
@@ -42,6 +44,10 @@ def main(argv=None) -> int:
                         help="inject the plan this many sim-seconds in")
     parser.add_argument("--faults-duration", type=float, default=30.0,
                         help="clear the plan after this many sim-seconds")
+    parser.add_argument("--resilience", action="store_true",
+                        help="enable the resilient data plane (outlier "
+                             "ejection, breakers, retry budgets, load "
+                             "shedding) in every deployment built")
     args = parser.parse_args(argv)
 
     if args.figure == "list":
@@ -61,6 +67,9 @@ def main(argv=None) -> int:
             print(str(exc), file=sys.stderr)
             return 2
         set_ambient_plan(plan)
+
+    if args.resilience:
+        set_ambient_resilience(ResilienceConfig(enabled=True))
 
     if args.figure == "all":
         names = sorted(ALL_EXPERIMENTS)
@@ -90,6 +99,7 @@ def main(argv=None) -> int:
             all_ok = all_ok and result.all_claims_hold
     finally:
         clear_ambient_plan()
+        clear_ambient_resilience()
     return 0 if all_ok else 1
 
 

@@ -35,6 +35,9 @@ class ExperimentResult:
     scalars: dict[str, float] = field(default_factory=dict)
     claims: dict[str, bool] = field(default_factory=dict)
     faults: dict[str, Any] = field(default_factory=dict)
+    #: Resilience decision counters (mechanism → count) when the run
+    #: exercised the resilient data plane (repro.resilience).
+    resilience: dict[str, float] = field(default_factory=dict)
 
     def rows(self) -> list[str]:
         """Human-readable result rows (what the bench prints)."""
@@ -48,6 +51,10 @@ class ExperimentResult:
         if self.faults:
             from ..metrics.report import render_faults
             out.extend("   " + row for row in render_faults(self.faults))
+        if self.resilience:
+            from ..metrics.report import render_resilience
+            out.extend("   " + row
+                       for row in render_resilience(self.resilience))
         return out
 
     def print(self) -> None:

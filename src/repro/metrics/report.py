@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 __all__ = ["sparkline", "render_series", "render_comparison",
-           "render_faults"]
+           "render_faults", "render_resilience"]
 
 _TICKS = "▁▂▃▄▅▆▇█"
 
@@ -83,6 +83,22 @@ def render_faults(summary: dict) -> list[str]:
             f"  {event['kind']:18s} {event['where']:16s} "
             f"{event['state']:9s} {window} "
             f"({len(event.get('targets', []))} targets)")
+    return rows
+
+
+def render_resilience(decisions: dict) -> list[str]:
+    """Rows for the resilient-data-plane decision counters.
+
+    ``decisions`` maps mechanism → count (ejections, breaker trips,
+    retries, hedges, sheds, ...); every decision the plane takes is a
+    counter, so a run's resilience activity is auditable next to its
+    error scalars.
+    """
+    if not decisions:
+        return []
+    rows = ["resilience decisions:"]
+    for key in sorted(decisions):
+        rows.append(f"  {key:28s} {decisions[key]:g}")
     return rows
 
 

@@ -28,6 +28,9 @@ __all__ = [
     "STATUS_TEMPORARY_REDIRECT",
     "STATUS_PARTIAL_POST_REPLAY",
     "STATUS_INTERNAL_ERROR",
+    "STATUS_SERVICE_UNAVAILABLE",
+    "RETRY_AFTER_HEADER",
+    "shed_response",
     "PARTIAL_POST_STATUS_MESSAGE",
     "is_valid_ppr_response",
     "echo_pseudo_headers",
@@ -42,6 +45,10 @@ STATUS_TEMPORARY_REDIRECT = 307
 #: The new status code Partial Post Replay introduces (§4.3).
 STATUS_PARTIAL_POST_REPLAY = 379
 STATUS_INTERNAL_ERROR = 500
+#: Load shedding: the admission controller answers this + Retry-After.
+STATUS_SERVICE_UNAVAILABLE = 503
+
+RETRY_AFTER_HEADER = "retry-after"
 
 #: §5.2: PPR is only enabled on a 379 *with this exact status message*.
 PARTIAL_POST_STATUS_MESSAGE = "PartialPOST"
@@ -110,6 +117,18 @@ class HttpResponse:
     partial_body_size: int = 0
     partial_chunks: int = 0
     payload: Any = None
+
+
+def shed_response(request_id: int, retry_after: float) -> HttpResponse:
+    """The 503 an admission controller sends when it sheds a request.
+
+    Carries a ``Retry-After`` hint so well-behaved clients back off for
+    a bounded, server-chosen interval instead of hammering or giving up.
+    """
+    return HttpResponse(
+        status=STATUS_SERVICE_UNAVAILABLE, request_id=request_id,
+        status_message="Service Unavailable",
+        headers={RETRY_AFTER_HEADER: f"{retry_after:g}"})
 
 
 def is_valid_ppr_response(response: HttpResponse) -> bool:

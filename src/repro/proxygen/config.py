@@ -7,6 +7,7 @@ from typing import Optional
 
 from ..netsim.addresses import Endpoint, Protocol, VIP
 from ..netsim.cpu import CpuCosts
+from ..resilience.config import ResilienceConfig
 
 __all__ = ["ProxygenConfig", "default_vips"]
 
@@ -74,8 +75,12 @@ class ProxygenConfig:
     #: packets forever (user-facing timeouts) until an operator runs
     #: :func:`repro.proxygen.ops.force_close_orphans`.
     buggy_ignore_received_udp_fds: bool = False
+    #: Resilient-data-plane knobs (disabled by default: the baseline
+    #: keeps the paper-faithful bare retry loops and blind round-robin).
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def validate(self) -> None:
+        self.resilience.validate()
         if self.mode not in ("edge", "origin"):
             raise ValueError(f"bad mode {self.mode!r}")
         if self.drain_duration < 0 or self.spawn_delay < 0:

@@ -30,10 +30,13 @@ from ..protocols.http import (
     BodyChunk,
     HttpRequest,
     HttpResponse,
+    RETRY_AFTER_HEADER,
     STATUS_INTERNAL_ERROR,
     STATUS_OK,
     STATUS_PARTIAL_POST_REPLAY,
+    STATUS_SERVICE_UNAVAILABLE,
     is_valid_ppr_response,
+    shed_response,
 )
 from ..protocols.http2 import FrameType, H2Connection, H2Error
 from ..protocols.mqtt import MqttConnect, ReConnect
@@ -93,12 +96,15 @@ class ProxygenInstance:
         self._serving_tasks: list = []
         self._takeover_listener = None
 
+        #: The machine-scoped resilience plane (None = legacy behavior).
+        self.resilience = server.resilience
         if self.config.mode == "edge":
             if (self.context.origin_vip is None
                     or self.context.origin_router is None):
                 raise ValueError("edge mode needs origin_vip/origin_router")
             self.upstream = UpstreamPool(
-                self, self.context.origin_vip, self.context.origin_router)
+                self, self.context.origin_vip, self.context.origin_router,
+                resilience=self.resilience)
         else:
             self.upstream = None
         self.conn_pool = UpstreamConnectionPool(self.host, self.process)
@@ -315,6 +321,24 @@ class ProxygenInstance:
                 return
 
     def _edge_http(self, conn: "TcpEndpoint", request: HttpRequest):
+        plane = self.resilience
+        if plane is None:
+            yield from self._edge_http_body(conn, request)
+            return
+        if not plane.admission.try_acquire(
+                draining=self.state == self.STATE_DRAINING):
+            if conn.alive:
+                response = shed_response(request.id,
+                                         plane.admission.retry_after)
+                conn.send(response, size=200)
+                self._count_response(response.status, 200)
+            return
+        try:
+            yield from self._edge_http_body(conn, request)
+        finally:
+            plane.admission.release()
+
+    def _edge_http_body(self, conn: "TcpEndpoint", request: HttpRequest):
         env = self.host.env
         costs = self.config.costs
         self.counters.inc("rps")
@@ -428,53 +452,271 @@ class ProxygenInstance:
             self.counters.inc("rps")
             self.host.metrics.series(
                 f"rps/{self.server.name}").record(self.host.env.now)
-            if payload.streaming and payload.method == "POST":
-                yield from self._origin_post(stream, payload)
-            else:
-                yield from self._origin_short(stream, payload)
+            plane = self.resilience
+            if plane is None:
+                yield from self._origin_dispatch(stream, payload)
+                return
+            if not plane.admission.try_acquire(
+                    draining=self.state == self.STATE_DRAINING):
+                self._stream_reply(
+                    stream,
+                    shed_response(payload.id, plane.admission.retry_after),
+                    size=200)
+                return
+            try:
+                yield from self._origin_dispatch(stream, payload)
+            finally:
+                plane.admission.release()
         elif isinstance(payload, (MqttConnect, ReConnect)):
             user_id = payload.user_id
             tunnel = OriginMqttTunnel(self, stream, user_id)
             yield from tunnel.run(payload)
 
+    def _origin_dispatch(self, stream, request: HttpRequest):
+        if request.streaming and request.method == "POST":
+            yield from self._origin_post(stream, request)
+        else:
+            yield from self._origin_short(stream, request)
+
+    def _pick_backend(self, exclude: tuple[str, ...]):
+        """Pool pick that also honors per-backend circuit breakers."""
+        pool = self.context.app_pool
+        plane = self.resilience
+        while True:
+            server = pool.pick(exclude)
+            if server is None or plane is None:
+                return server
+            if plane.breakers.get(f"app:{server.host.ip}").allow():
+                return server
+            exclude += (server.host.ip,)
+
     def _origin_short(self, stream, request: HttpRequest):
-        """Forward a short request to a healthy app server (retry twice)."""
+        """Forward a short request to a healthy app server, with retries.
+
+        Without the resilience plane: up to 3 zero-delay failover picks
+        (the legacy path).  With it: breaker-aware picks, budgeted
+        retries with jittered backoff, passive-health recording, stale
+        idle-connection redial and hedging for slow backends.
+        """
         env = self.host.env
-        costs = self.config.costs
-        yield from self.host.cpu.execute(costs.relay_message)
+        plane = self.resilience
+        pool = self.context.app_pool
+        yield from self.host.cpu.execute(self.config.costs.relay_message)
+        if plane is not None:
+            plane.note_request()
+        attempts = (plane.config.retry_max_attempts
+                    if plane is not None else 3)
         exclude: tuple[str, ...] = ()
-        for _attempt in range(3):
-            server = self.context.app_pool.pick(exclude)
+        last_shed = None
+        for attempt in range(attempts):
+            if attempt > 0 and plane is not None:
+                if not plane.spend_retry():
+                    break
+                yield from plane.backoff_wait(attempt)
+            server = self._pick_backend(exclude)
             if server is None:
                 break
-            try:
-                conn = yield from self.conn_pool.checkout(
-                    server.host.ip, server.endpoint.port)
-            except ConnectionRefusedSim:
-                exclude += (server.host.ip,)
+            ip = server.host.ip
+            start = env.now
+            verdict, response, winner = yield from self._short_exchange(
+                server, request, exclude)
+            if verdict == "ok":
+                win_ip = (winner or server).host.ip
+                pool.record_success(win_ip, env.now - start)
+                if plane is not None:
+                    plane.breakers.get(f"app:{win_ip}").record_success()
+                self._stream_reply(stream, response,
+                                   size=max(600, response.body_size))
+                return
+            if verdict == "shed":
+                # Backpressure, not breakage: the app server refused
+                # with 503 + Retry-After.  Retry elsewhere without a
+                # health or breaker demerit — blaming overload would
+                # eject the very servers shrinking their intake.
+                self.counters.inc("upstream_shed")
+                last_shed = response
+                exclude += ((winner or server).host.ip,)
                 continue
-            try:
-                conn.send(request, size=500)
-            except (SocketClosedSim, ConnectionResetSim):
-                exclude += (server.host.ip,)
-                continue
-            outcome = yield from with_timeout(
-                env, conn.recv(), self.config.upstream_timeout)
-            if outcome is TIMED_OUT:
-                conn.abort(reason="upstream_timeout")
-                exclude += (server.host.ip,)
-                continue
-            if isinstance(outcome, StreamControl):
-                # Server reset mid-request (hard restart): retry is safe
-                # for the short, idempotent API calls of this path.
-                exclude += (server.host.ip,)
-                continue
-            response: HttpResponse = outcome.payload
-            self.conn_pool.checkin(conn)
-            self._stream_reply(stream, response,
-                               size=max(600, response.body_size))
+            # Retry is safe for the short, idempotent API calls of this
+            # path (server reset mid-request = hard restart).
+            blame = (winner or server).host.ip
+            pool.record_failure(blame)
+            if plane is not None:
+                plane.breakers.get(f"app:{blame}").record_failure()
+            exclude += (blame,)
+        if last_shed is not None:
+            # Out of alternatives: relay the shed verbatim so the
+            # client backs off on its Retry-After instead of seeing
+            # a synthesized 500.
+            self._stream_reply(stream, last_shed,
+                               size=max(200, last_shed.body_size))
             return
         self._fail_stream(stream, request)
+
+    def _short_exchange(self, server, request: HttpRequest,
+                        exclude: tuple[str, ...]):
+        """Generator: one logical attempt → ``(verdict, response, winner)``.
+
+        ``verdict`` ∈ ok / refused / send_fail / timeout / reset /
+        bad_status; ``winner`` is the server that actually answered
+        (hedging may move it off the primary).  A pooled connection
+        whose peer closed after check-in is discarded and redialled once
+        instead of blaming the backend (``idle_discarded``).
+        """
+        env = self.host.env
+        plane = self.resilience
+        ip, port = server.host.ip, server.endpoint.port
+        try:
+            conn = yield from self.conn_pool.checkout(ip, port)
+        except ConnectionRefusedSim:
+            return "refused", None, None
+        redialed = False
+        while True:
+            try:
+                conn.send(request, size=500)
+                break
+            except (SocketClosedSim, ConnectionResetSim):
+                if self.conn_pool.was_reused(conn) and not redialed:
+                    self.conn_pool.note_stale_reuse(conn)
+                    redialed = True
+                    try:
+                        conn = yield from self.conn_pool.checkout_fresh(
+                            ip, port)
+                    except ConnectionRefusedSim:
+                        return "refused", None, None
+                    continue
+                return "send_fail", None, None
+
+        timeout = self.config.upstream_timeout
+        hedge_wanted = (plane is not None and plane.config.hedge_enabled
+                        and not request.streaming
+                        and plane.config.hedge_delay < timeout)
+        if hedge_wanted:
+            outcome = yield from with_timeout(
+                env, conn.recv(), plane.config.hedge_delay)
+            remaining = timeout - plane.config.hedge_delay
+            if outcome is TIMED_OUT:
+                hedge = yield from self._launch_hedge(
+                    request, exclude + (ip,))
+                if hedge is not None:
+                    return (yield from self._hedge_race(
+                        conn, server, hedge[0], hedge[1], remaining))
+                outcome = yield from with_timeout(
+                    env, conn.recv(), remaining)
+        else:
+            outcome = yield from with_timeout(env, conn.recv(), timeout)
+
+        if outcome is TIMED_OUT:
+            conn.abort(reason="upstream_timeout")
+            return "timeout", None, None
+        if isinstance(outcome, StreamControl):
+            if self.conn_pool.was_reused(conn) and not redialed:
+                # Peer closed after check-in; the RST outran the reply.
+                self.conn_pool.note_stale_reuse(conn)
+                try:
+                    conn = yield from self.conn_pool.checkout_fresh(
+                        ip, port)
+                    conn.send(request, size=500)
+                except (ConnectionRefusedSim, SocketClosedSim,
+                        ConnectionResetSim):
+                    return "send_fail", None, None
+                outcome = yield from with_timeout(env, conn.recv(), timeout)
+                if outcome is TIMED_OUT:
+                    conn.abort(reason="upstream_timeout")
+                    return "timeout", None, None
+                if isinstance(outcome, StreamControl):
+                    return "reset", None, None
+            else:
+                return "reset", None, None
+        return self._finish_short(conn, server, outcome.payload)
+
+    def _finish_short(self, conn, server, response: HttpResponse):
+        """Classify a received response; pools the connection."""
+        self.conn_pool.checkin(conn)
+        if self.resilience is not None and response.status != STATUS_OK:
+            if (response.status == STATUS_SERVICE_UNAVAILABLE
+                    and RETRY_AFTER_HEADER in response.headers):
+                # Admission-control backpressure, not a broken backend.
+                return "shed", response, server
+            # Rogue/5xx statuses are failures to route around, not
+            # answers to forward (the legacy path forwards them as-is).
+            return "bad_status", response, server
+        return "ok", response, server
+
+    def _launch_hedge(self, request: HttpRequest,
+                      exclude: tuple[str, ...]):
+        """Generator: send a hedged copy → ``(server, conn)`` or None."""
+        plane = self.resilience
+        if not plane.hedge_budget.try_spend():
+            return None
+        server = self._pick_backend(exclude)
+        if server is None:
+            return None
+        try:
+            conn = yield from self.conn_pool.checkout(
+                server.host.ip, server.endpoint.port)
+        except ConnectionRefusedSim:
+            self.context.app_pool.record_failure(server.host.ip)
+            return None
+        try:
+            conn.send(request.clone_for_replay(), size=500)
+        except (SocketClosedSim, ConnectionResetSim):
+            if conn.alive:
+                conn.abort(reason="hedge_send_fail")
+            return None
+        self.counters.inc("hedge_sent")
+        return server, conn
+
+    def _hedge_race(self, conn, server, hedge_server, hedge_conn,
+                    remaining: float):
+        """Generator: race primary vs hedge → ``(verdict, response,
+        winner)``.  The first leg to answer wins; the loser is aborted
+        (never pooled — a late response would poison the next checkout).
+        """
+        env = self.host.env
+        pool = self.context.app_pool
+        plane = self.resilience
+        legs = {"primary": (server, conn),
+                "hedge": (hedge_server, hedge_conn)}
+        waits = {name: pair[1].recv() for name, pair in legs.items()}
+        deadline = env.timeout(remaining, value=TIMED_OUT)
+        while waits:
+            result = yield AnyOf(env, list(waits.values()) + [deadline])
+            fired = [name for name in ("primary", "hedge")
+                     if name in waits and waits[name] in result]
+            if not fired:  # only the deadline fired
+                for name, event in waits.items():
+                    event.cancel()
+                    legs[name][1].abort(reason="upstream_timeout")
+                if "hedge" in waits:
+                    pool.record_failure(hedge_server.host.ip)
+                return "timeout", None, None
+            for name in fired:
+                event = waits.get(name)
+                if event is None:
+                    continue
+                item = result[event]
+                leg_server, leg_conn = legs[name]
+                del waits[name]
+                if isinstance(item, StreamControl):
+                    # This leg died; the other may still answer.  The
+                    # hedge leg's health is ours to record (the caller
+                    # only accounts for the primary).
+                    if name == "hedge":
+                        pool.record_failure(leg_server.host.ip)
+                        if plane is not None:
+                            plane.breakers.get(
+                                f"app:{leg_server.host.ip}").record_failure()
+                    continue
+                for other, other_event in waits.items():
+                    other_event.cancel()
+                    legs[other][1].abort(reason="hedge_loser")
+                waits.clear()
+                if name == "hedge":
+                    self.counters.inc("hedge_won")
+                return self._finish_short(leg_conn, leg_server,
+                                          item.payload)
+        return "reset", None, None
 
     @staticmethod
     def _pending_upstream_response(conn) -> Optional[HttpResponse]:
@@ -497,14 +739,25 @@ class ProxygenInstance:
         """Forward a streaming POST with Partial Post Replay (§4.3)."""
         env = self.host.env
         costs = self.config.costs
+        plane = self.resilience
+        pool = self.context.app_pool
         self.counters.inc("post_started")
         yield from self.host.cpu.execute(costs.relay_message)
+        if plane is not None:
+            plane.note_request()
 
         replay_bytes = 0      # burst to re-send to the next server
         forwarded = 0         # body bytes sent to the current server
         last_seen = False     # client finished its body
         pending: list[BodyChunk] = []
         exclude: tuple[str, ...] = ()
+        backoff_pending = False
+
+        def blame(ip: str) -> None:
+            """A hard failure before/without any reply: bad backend."""
+            pool.record_failure(ip)
+            if plane is not None:
+                plane.breakers.get(f"app:{ip}").record_failure()
 
         def absorb_ppr(response: HttpResponse) -> None:
             """Fold a valid 379 into the replay state."""
@@ -517,8 +770,14 @@ class ProxygenInstance:
             # knows its size, §5.2).
             replay_bytes = max(forwarded, response.partial_body_size)
 
-        for _attempt in range(self.config.ppr_max_retries + 1):
-            server = self.context.app_pool.pick(exclude)
+        for attempt in range(self.config.ppr_max_retries + 1):
+            if backoff_pending and plane is not None:
+                # Only *failed* attempts back off; a PPR replay after a
+                # valid 379 switches servers immediately (§4.3 keeps the
+                # upload moving) and never pays the retry budget.
+                yield from plane.backoff_wait(max(attempt, 1))
+            backoff_pending = False
+            server = self._pick_backend(exclude)
             if server is None:
                 self._fail_post(stream, request, "no_backend")
                 return
@@ -526,7 +785,9 @@ class ProxygenInstance:
                 conn = yield from self.conn_pool.checkout(
                     server.host.ip, server.endpoint.port)
             except ConnectionRefusedSim:
+                blame(server.host.ip)
                 exclude += (server.host.ip,)
+                backoff_pending = True
                 continue
             try:
                 conn.send(request.clone_for_replay(), size=400)
@@ -544,7 +805,9 @@ class ProxygenInstance:
                     forwarded += chunk.data_size
                 pending = []
             except (SocketClosedSim, ConnectionResetSim):
+                blame(server.host.ip)
                 exclude += (server.host.ip,)
+                backoff_pending = True
                 continue
 
             def give_up_on_server(conn=conn) -> str:
@@ -552,8 +815,10 @@ class ProxygenInstance:
                 response (likely the 379) before switching away."""
                 late = self._pending_upstream_response(conn)
                 if late is not None and is_valid_ppr_response(late):
+                    # A clean drain handoff — not a health demerit.
                     absorb_ppr(late)
                     return "switch"
+                blame(server.host.ip)
                 if late is not None and late.status != STATUS_OK:
                     return "fail"  # an explicit 500: do not retry blindly
                 return "switch"
@@ -565,6 +830,7 @@ class ProxygenInstance:
                         env, conn.recv(), self.config.upstream_timeout)
                     if outcome is TIMED_OUT:
                         conn.abort(reason="upstream_timeout")
+                        blame(server.host.ip)
                         self._fail_post(stream, request, "write_timeout")
                         return
                     arrivals = [("conn", outcome)]
@@ -629,6 +895,10 @@ class ProxygenInstance:
                             continue
                         response: HttpResponse = item.payload
                         if response.status == STATUS_OK:
+                            pool.record_success(server.host.ip)
+                            if plane is not None:
+                                plane.breakers.get(
+                                    f"app:{server.host.ip}").record_success()
                             self.conn_pool.checkin(conn)
                             self._stream_reply(stream, response, size=600)
                             self.counters.inc("post_completed")
@@ -642,9 +912,13 @@ class ProxygenInstance:
                             # A 379 without the PartialPOST message: do
                             # NOT trust it (§5.2).
                             self.counters.inc("ppr_379_invalid")
+                            blame(server.host.ip)
                             self._fail_post(stream, request, "invalid_379")
                             return
-                        # 500 and friends: propagate.
+                        # 500 and friends: propagate (a completed POST is
+                        # not safe to replay) but demerit the backend so
+                        # future picks route around it.
+                        blame(server.host.ip)
                         self._stream_reply(stream, response, size=200)
                         self.counters.inc("post_failed_upstream")
                         self.counters.inc("post_disrupted")

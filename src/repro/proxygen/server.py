@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..netsim.addresses import VIP
 from ..netsim.host import Host
+from ..resilience.plane import ResiliencePlane
 from .config import ProxygenConfig, default_vips
 from .context import ProxyTierContext
 from .instance import ProxygenInstance
@@ -48,6 +49,14 @@ class ProxygenServer:
         #: UDP-socket leak per machine without mutating the shared config.
         self.takeover_fault: Optional[str] = None
         self.fault_ignore_udp_fds: bool = False
+        #: The machine-scoped resilience state (breakers, budgets,
+        #: admission) — survives generation handovers so a takeover does
+        #: not forget which upstreams were misbehaving.
+        self.resilience: Optional[ResiliencePlane] = None
+        if config.resilience.enabled:
+            self.resilience = ResiliencePlane(
+                config.resilience, host.env,
+                host.streams.stream("resilience"), self.counters)
 
     # -- views ----------------------------------------------------------
 

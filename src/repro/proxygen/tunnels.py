@@ -139,9 +139,15 @@ class EdgeMqttTunnel:
         normal way.
         """
         instance = self.instance
+        plane = instance.resilience
         old_stream = self.stream
         new_stream = None
         for attempt in range(3):
+            if attempt > 0 and plane is not None:
+                # Re-homing storms are synchronized by nature (every
+                # tunnel on a draining Origin gets solicited at once):
+                # jittered backoff de-herds the ReConnect relay.
+                yield from plane.backoff_wait(attempt)
             try:
                 candidate = yield from instance.upstream.open_stream()
             except UpstreamUnavailable:

@@ -5,6 +5,11 @@ Origin (§2.2) over which user requests and MQTT tunnels are multiplexed.
 When the Origin side drains it sends GOAWAY; the pool then dials a new
 connection (routed by the Origin's L4LB) for new streams while in-flight
 streams finish on the old one — the disruption-free path of §4.1.
+
+With the resilience plane attached, redials run through the shared
+retry budget and jittered backoff policy instead of a bare zero-delay
+``dial_retries`` loop, and each Origin backend sits behind a circuit
+breaker so a dead/refusing backend is not re-dialled on every stream.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from ..netsim.errors import ConnectionRefusedSim
 from ..protocols.http2 import GoAwayError, H2Connection, H2Error, H2Stream
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..resilience.plane import ResiliencePlane
     from .instance import ProxygenInstance
 
 __all__ = ["UpstreamPool", "UpstreamUnavailable"]
@@ -31,11 +37,13 @@ class UpstreamPool:
     def __init__(self, instance: "ProxygenInstance",
                  origin_vip: Endpoint,
                  origin_router: Callable[[FourTuple], Optional[str]],
-                 dial_retries: int = 3):
+                 dial_retries: int = 3,
+                 resilience: Optional["ResiliencePlane"] = None):
         self.instance = instance
         self.origin_vip = origin_vip
         self.origin_router = origin_router
         self.dial_retries = dial_retries
+        self.resilience = resilience
         self.current: Optional[H2Connection] = None
         self.dials = 0
 
@@ -48,7 +56,16 @@ class UpstreamPool:
 
         Raises :class:`UpstreamUnavailable` after exhausting retries.
         """
-        for _attempt in range(self.dial_retries + 1):
+        plane = self.resilience
+        if plane is not None:
+            plane.note_request()
+        for attempt in range(self.dial_retries + 1):
+            if attempt > 0 and plane is not None:
+                # Re-dials are retries: pay the shared budget and back
+                # off with jitter instead of hammering the Origin VIP.
+                if not plane.spend_retry():
+                    break
+                yield from plane.backoff_wait(attempt)
             if not self._usable(self.current):
                 yield from self._dial()
                 if self.current is None:
@@ -62,6 +79,7 @@ class UpstreamPool:
     def _dial(self):
         instance = self.instance
         host = instance.host
+        plane = self.resilience
         # Route the new connection through the Origin's L4LB, exactly as
         # a fresh flow would be.
         probe_flow = FourTuple(
@@ -70,17 +88,32 @@ class UpstreamPool:
             self.origin_vip)
         backend_ip = self.origin_router(probe_flow)
         if backend_ip is None:
+            instance.counters.inc("upstream_dial_attempt", tag="no_route")
             self.current = None
             return
+        breaker = None
+        if plane is not None:
+            breaker = plane.breakers.get(f"origin:{backend_ip}")
+            if not breaker.allow():
+                instance.counters.inc("upstream_dial_attempt",
+                                      tag="breaker_open")
+                self.current = None
+                return
         try:
             endpoint = yield host.kernel.tcp_connect(
                 instance.process, self.origin_vip, via_ip=backend_ip)
         except ConnectionRefusedSim:
             instance.counters.inc("upstream_dial_refused")
+            instance.counters.inc("upstream_dial_attempt", tag="refused")
+            if breaker is not None:
+                breaker.record_failure()
             self.current = None
             return
         self.dials += 1
+        if breaker is not None:
+            breaker.record_success()
         conn = H2Connection(endpoint, role="client")
         conn.start(instance.process)
         self.current = conn
         instance.counters.inc("upstream_dialed")
+        instance.counters.inc("upstream_dial_attempt", tag="ok")

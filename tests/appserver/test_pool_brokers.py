@@ -264,3 +264,124 @@ def test_broker_downstream_publishing_and_path_loss(world):
     # Notifications during the outage are QoS-buffered (up to the cap).
     assert broker.counters.get("publish_queued_no_path") > 0
     assert len(broker.sessions[9].queued) > 0
+
+
+# -- AppServerPool: stable-cursor fairness and health ------------------------
+
+def test_pool_cursor_starts_at_first_server(world):
+    pool, servers = _pool_of(world, 3)
+    # The very first pick must be index 0, then strict rotation order.
+    order = [pool.pick() for _ in range(6)]
+    assert order == servers + servers
+
+
+def test_pool_exclusion_does_not_shift_rotation(world):
+    pool, servers = _pool_of(world, 3)
+    assert pool.pick() is servers[0]
+    # Excluding the server under the cursor skips it for this pick only;
+    # the cursor still advances over the full membership list.
+    assert pool.pick(exclude=(servers[1].host.ip,)) is servers[2]
+    assert pool.pick() is servers[0]
+    assert pool.pick() is servers[1]
+
+
+def test_pool_draining_server_does_not_bias_rotation(world):
+    pool, servers = _pool_of(world, 4)
+    servers[1].state = AppServer.STATE_DRAINING
+    picks = [pool.pick() for _ in range(9)]
+    counts = {s.name: picks.count(s) for s in servers}
+    assert counts[servers[1].name] == 0
+    # The remaining three split the 9 picks evenly: no double-serving
+    # of whichever server happens to follow the drained one.
+    assert sorted(counts[s.name] for s in (servers[0], servers[2],
+                                           servers[3])) == [3, 3, 3]
+
+
+def _health_pool(world, count, **overrides):
+    from repro.resilience import OutlierTracker, ResilienceConfig
+    from repro.simkernel import RandomStreams
+
+    pool, servers = _pool_of(world, count)
+    base = dict(enabled=True, min_samples=3, error_rate_threshold=0.5,
+                ejection_duration=10.0, ejection_jitter=0.0,
+                max_ejected_fraction=1.0)
+    base.update(overrides)
+    tracker = OutlierTracker(ResilienceConfig(**base), world.env,
+                             RandomStreams(1).stream("t"))
+    pool.attach_health(tracker)
+    return pool, servers, tracker
+
+
+def test_pool_healthy_excludes_ejected(world):
+    pool, servers, tracker = _health_pool(world, 3)
+    bad_ip = servers[0].host.ip
+    for _ in range(3):
+        pool.record_failure(bad_ip)
+    assert servers[0] not in pool.healthy()
+    assert servers[0] not in pool.healthy(exclude=())
+    assert set(pool.healthy()) == {servers[1], servers[2]}
+    # healthy() composes ejection with explicit exclusion.
+    assert pool.healthy(exclude=(servers[1].host.ip,)) == [servers[2]]
+    picks = {pool.pick() for _ in range(6)}
+    assert servers[0] not in picks
+
+
+def test_pool_panic_pick_when_all_ejected(world):
+    pool, servers, tracker = _health_pool(world, 2)
+    for server in servers:
+        for _ in range(3):
+            pool.record_failure(server.host.ip)
+    assert pool.healthy() == []
+    # Serving a possibly-bad backend beats serving nobody.
+    assert pool.pick() in servers
+    assert pool.pick(exclude=(servers[0].host.ip,
+                              servers[1].host.ip)) is None
+
+
+def test_pool_ejected_server_returns_after_expiry(world):
+    pool, servers, tracker = _health_pool(world, 3)
+    bad_ip = servers[0].host.ip
+    for _ in range(3):
+        pool.record_failure(bad_ip)
+    assert servers[0] not in pool.healthy()
+    world.env.run(until=11.0)
+    assert servers[0] in pool.healthy()  # probing: back in rotation
+    pool.record_success(bad_ip, latency=0.05)
+    assert servers[0] in pool.healthy()
+
+
+# -- UpstreamConnectionPool: stale idle connections --------------------------
+
+def test_conn_pool_stale_reuse_discard_and_redial(world):
+    """A peer that dies *after* check-in still looks alive at checkout
+    (its RST has not arrived); the caller's first write error must turn
+    into a counted discard + fresh dial, not a failed request."""
+    pool_srv, servers = _pool_of(world, 1)
+    proxy_host = world.host("proxy")
+    proc = proxy_host.spawn("p")
+    pool = UpstreamConnectionPool(proxy_host, proc)
+    target = servers[0]
+    log = []
+
+    def flow():
+        conn = yield from pool.checkout(target.host.ip,
+                                        target.endpoint.port)
+        pool.checkin(conn)
+        # Kill the *peer* side only: the pooled endpoint has not seen
+        # the notification yet, so checkout happily reuses it.
+        conn.peer.abort(reason="server restart")
+        reused = yield from pool.checkout(target.host.ip,
+                                          target.endpoint.port)
+        log.append(reused is conn)
+        log.append(pool.was_reused(reused))
+        pool.note_stale_reuse(reused)
+        fresh = yield from pool.checkout_fresh(target.host.ip,
+                                               target.endpoint.port)
+        log.append(fresh is not conn and fresh.alive)
+        log.append(pool.was_reused(fresh))
+
+    proc.run(flow())
+    world.env.run(until=2)
+    assert log == [True, True, True, False]
+    assert pool.idle_discarded == 1
+    assert pool.dials == 2

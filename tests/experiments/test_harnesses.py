@@ -22,7 +22,8 @@ from repro.experiments import (
 
 
 def test_registry_covers_every_figure():
-    expected = {"chaos", "fig02", "fig02d", "fig03", "fig08", "fig09",
+    expected = {"chaos", "resilience", "fig02", "fig02d", "fig03",
+                "fig08", "fig09",
                 "fig10", "fig11", "fig12", "fig13", "fig15", "fig16",
                 "fig17"}
     assert set(ALL_EXPERIMENTS) == expected

@@ -69,3 +69,39 @@ def test_quantiles_monotone(values):
     q.extend(values)
     results = [q.quantile(p) for p in (0.1, 0.5, 0.9, 0.99)]
     assert results == sorted(results)
+
+
+def test_quantile_exact_bounds():
+    q = Quantiles()
+    q.extend([5, 1, 9, 3])
+    assert q.quantile(0.0) == 1
+    assert q.quantile(1.0) == 9
+
+
+def test_quantile_negative_q_rejected():
+    q = Quantiles()
+    q.add(1)
+    with pytest.raises(ValueError):
+        q.quantile(-0.1)
+
+
+def test_quantiles_resort_after_interleaved_add():
+    # Querying sorts; a later add must mark the cache dirty so the next
+    # query re-sorts instead of answering over a half-sorted list.
+    q = Quantiles()
+    q.extend([10, 30, 20])
+    assert q.median == 20
+    q.add(0)
+    assert q.min == 0
+    assert q.median == 15
+    q.add(100)
+    assert q.max == 100
+    assert q.quantile(1.0) == 100
+
+
+def test_quantiles_len_tracks_adds():
+    q = Quantiles()
+    assert len(q) == 0
+    q.add(1)
+    q.extend([2, 3])
+    assert len(q) == 3
