@@ -77,6 +77,11 @@ class AppServer:
         #: mid-body (the downstream proxy sees a reset, never a reply).
         self.fault_rogue_fraction: Optional[float] = None
         self.fault_truncate_fraction: float = 0.0
+        #: Invariant-checking hook (repro.invariants); ``None`` keeps the
+        #: hot paths to a single attribute read.
+        self.invariant_tap = None
+        #: Sim time the current drain began (None while serving).
+        self.drain_started_at: Optional[float] = None
         #: Drain-aware concurrency gate (None = shedding disabled).
         self.admission: Optional[AdmissionController] = None
         if self.config.resilience.enabled:
@@ -108,6 +113,7 @@ class AppServer:
         _, self.listener = self.host.kernel.tcp_listen(
             self.process, self.endpoint)
         self.state = self.STATE_ACTIVE
+        self.drain_started_at = None
         if self.admission is not None:
             # Work in flight in the previous generation died with it.
             self.admission.reset_inflight()
@@ -123,6 +129,7 @@ class AppServer:
             return
         env = self.host.env
         self.state = self.STATE_DRAINING
+        self.drain_started_at = env.now
         self.listener.pause_accepting()
         self.counters.inc("restart_started")
         yield env.timeout(self.config.drain_duration)
@@ -200,6 +207,9 @@ class AppServer:
     def _accept_loop(self, process: SimProcess, listener: TcpListenSocket):
         while process.alive and not listener.closed:
             conn = yield listener.accept(process)
+            tap = self.invariant_tap
+            if tap is not None:
+                tap.record("app_accept", server=self)
             yield from self.host.cpu.execute(self.config.costs.tcp_handshake)
             process.run(self._serve_conn(process, conn))
 
@@ -300,6 +310,13 @@ class AppServer:
                 break
         post.complete = True
         self.in_flight_posts.pop(request.id, None)
+        if post.received_bytes >= request.body_size:
+            # The full body landed — its side effect runs exactly here,
+            # whatever the response path does next.
+            tap = self.invariant_tap
+            if tap is not None:
+                tap.record("post_applied", server=self,
+                           request_id=request.id)
         yield from self.host.cpu.execute(costs.http_request)
         if not conn.alive:
             return

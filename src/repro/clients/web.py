@@ -71,6 +71,10 @@ class WebClientPopulation:
         self.name = name
         self.counters = metrics.scoped_counters(name)
         self._client_serial = 0
+        #: Requests currently between "started" and their terminal
+        #: counter, per kind — the request-conservation invariant's
+        #: balancing term.
+        self.inflight: dict[str, int] = {"get": 0, "post": 0}
 
     def start(self) -> None:
         """Spawn every client's driver process."""
@@ -101,10 +105,15 @@ class WebClientPopulation:
             yield env.timeout(sampler.exponential(config.think_time))
             if not conn.alive:
                 continue
-            if sampler.bernoulli(config.post_fraction):
-                done = yield from self._do_post(base, conn, sampler)
-            else:
-                done = yield from self._do_get(base, conn, sampler)
+            kind = "post" if sampler.bernoulli(config.post_fraction) else "get"
+            self.inflight[kind] += 1
+            try:
+                if kind == "post":
+                    done = yield from self._do_post(base, conn, sampler)
+                else:
+                    done = yield from self._do_get(base, conn, sampler)
+            finally:
+                self.inflight[kind] -= 1
             if isinstance(done, float):
                 # Shed (503 + Retry-After): not a failure — honor the
                 # server's backoff hint, jittered so shed clients do not
@@ -141,6 +150,7 @@ class WebClientPopulation:
             "GET", "/api/feed",
             headers={"cacheable": "1"} if cacheable else {})
         start = base.host.env.now
+        self.counters.inc("get_started")
         try:
             conn.send(request, size=350)
         except (SocketClosedSim, ConnectionResetSim):

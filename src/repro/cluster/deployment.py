@@ -55,6 +55,8 @@ class Deployment:
         #: ``--faults``); attached when the deployment starts.
         self._fault_plan = fault_plan
         self.fault_injector: Optional[FaultInjector] = None
+        #: Set by repro.invariants when a suite attaches to us.
+        self.invariant_suite = None
         self.streams = RandomStreams(spec.seed)
         self.metrics = MetricsRegistry(bucket_width=spec.bucket_width)
         self.network = Network(self.env, self.streams,

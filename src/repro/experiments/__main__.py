@@ -22,6 +22,7 @@ import time
 
 from ..faults import BUILTIN_PLANS, builtin_plan, clear_ambient_plan, \
     set_ambient_plan
+from ..invariants import runtime as invariant_runtime
 from ..metrics.report import render_faults, render_series
 from ..resilience import ResilienceConfig, clear_ambient_resilience, \
     set_ambient_resilience
@@ -86,6 +87,18 @@ def main(argv=None) -> int:
             start = time.time()
             result = ALL_EXPERIMENTS[name].run(seed=args.seed)
             result.print()
+            violations = invariant_runtime.drain()
+            if violations:
+                all_ok = False
+                broken = sorted({v.checker for v in violations})
+                print(f"   INVARIANT VIOLATIONS ({len(violations)}) "
+                      f"from checkers: {', '.join(broken)}")
+                for violation in violations[:10]:
+                    print(f"     {violation}")
+                if len(violations) > 10:
+                    print(f"     ... and {len(violations) - 10} more")
+            else:
+                print("   invariants: all checkers clean")
             if args.faults is not None and not result.faults:
                 # The harness did not surface an injector summary itself;
                 # still label the run so it can't pass as a baseline.
@@ -100,6 +113,7 @@ def main(argv=None) -> int:
     finally:
         clear_ambient_plan()
         clear_ambient_resilience()
+        invariant_runtime.drain()  # reset registry for in-process callers
     return 0 if all_ok else 1
 
 

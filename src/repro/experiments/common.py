@@ -11,6 +11,7 @@ from ..clients.quic import QuicWorkloadConfig
 from ..clients.web import WebWorkloadConfig
 from ..cluster.deployment import Deployment
 from ..cluster.spec import DeploymentSpec
+from ..invariants import runtime as invariant_runtime
 from ..proxygen.config import ProxygenConfig
 
 __all__ = ["ExperimentResult", "build_deployment", "fault_summary",
@@ -103,6 +104,9 @@ def build_deployment(seed: int = 0,
         quic_workload=quic,
         **spec_kwargs)
     deployment = Deployment(spec, fault_plan=fault_plan)
+    # Always-on invariant checking: every harness-built deployment runs
+    # under the full checker suite (drained via invariant_runtime.drain()).
+    invariant_runtime.install(deployment)
     deployment.start()
     return deployment
 

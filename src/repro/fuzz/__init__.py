@@ -1,0 +1,29 @@
+"""Deterministic chaos fuzzing of the release machinery.
+
+The whole stack is seeded (:mod:`repro.simkernel.rng` derives every
+stream from one integer), so adversarial testing can be a *search*
+rather than a handful of hand-picked chaos plans:
+
+* :mod:`repro.fuzz.scenario` — a seeded generator producing random
+  cluster sizes, client mixes, fault schedules (from the 9 existing
+  fault kinds) and rolling-release schedules, all serializable to JSON.
+* :mod:`repro.fuzz.runner` — executes one scenario under the full
+  :mod:`repro.invariants` checker suite.
+* :mod:`repro.fuzz.shrink` — delta-debugs a violating scenario down to
+  a minimal repro (fewer faults, smaller cluster, shorter schedule).
+* :mod:`repro.fuzz.planted` — deliberately-broken variants of the
+  release path, used to prove the checkers actually catch regressions.
+* ``python -m repro.fuzz`` — the CLI (seed ranges, run budgets, checker
+  selection, ``--repro file.json`` replay).
+
+Nothing in this package may touch :mod:`random` or wall-clock time
+directly (CI lints for it): every draw comes from a named seeded
+stream, which is what makes emitted repro files replay exactly.
+"""
+
+from .runner import FuzzRunResult, run_scenario
+from .scenario import Scenario, generate_scenario
+from .shrink import shrink
+
+__all__ = ["FuzzRunResult", "Scenario", "generate_scenario",
+           "run_scenario", "shrink"]

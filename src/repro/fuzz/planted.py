@@ -1,0 +1,128 @@
+"""Deliberately-broken variants of the release path.
+
+Each planted fault patches one mechanism back into the buggy shape the
+paper (or plain correctness) warns about, inside a context manager that
+restores the original on exit.  They exist to prove the invariant
+checkers actually catch regressions: a fuzz run with a planted fault
+MUST produce violations, and a shrunken repro of that run must re-fail.
+
+The patches target classes/module globals, so they apply to every
+deployment built inside the ``with`` block — which is exactly what the
+runner wants (scenario replay re-applies the same plant by name).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["PLANTED_FAULTS", "planted_fault"]
+
+
+@contextmanager
+def _skip_drain_gate() -> Iterator[None]:
+    """The drain flips state but forgets to stop accepting.
+
+    ``begin_drain`` keeps the bookkeeping (state, counters, exit timer)
+    but skips interrupting the serving loops / pausing the listeners,
+    and ``serving`` is widened so accept loops keep spinning — the
+    classic half-implemented drain.  Caught by ``drain-monotonicity``.
+    """
+    from ..proxygen import instance as instance_mod
+    cls = instance_mod.ProxygenInstance
+    original_begin = cls.begin_drain
+    original_serving = cls.serving
+
+    def broken_begin_drain(self, reason: str) -> None:
+        if self.state != self.STATE_ACTIVE:
+            return
+        self.state = self.STATE_DRAINING
+        self.drain_started_at = self.host.env.now
+        self.counters.inc("drain_started", tag=reason)
+        if self._takeover_listener is not None:
+            self._takeover_listener.close()
+        # PLANTED BUG: serving loops are not interrupted and listeners
+        # are not paused — the instance keeps taking new work.
+        self.process.run(self._drain_then_exit())
+
+    cls.begin_drain = broken_begin_drain
+    cls.serving = property(
+        lambda self: (self.state in (self.STATE_ACTIVE, self.STATE_DRAINING)
+                      and self.process.alive))
+    try:
+        yield
+    finally:
+        cls.begin_drain = original_begin
+        cls.serving = original_serving
+
+
+@contextmanager
+def _leak_takeover_fd() -> Iterator[None]:
+    """The takeover client leaks one reference per handover (§5.1).
+
+    After a successful handshake the new instance takes an extra ref on
+    the first TCP listener description and never drops it — the socket
+    can now outlive every process that owns it.  Caught by
+    ``fd-conservation`` at ``takeover_end``.
+    """
+    from ..proxygen import instance as instance_mod
+    original = instance_mod.run_takeover_client
+
+    def leaky_run_takeover_client(instance):
+        result = yield from original(instance)
+        for fd in sorted(result.tcp_listener_fds.values())[:1]:
+            # PLANTED BUG: an extra incref with no matching table entry.
+            instance.process.fd_table.description(fd).incref()
+        return result
+
+    instance_mod.run_takeover_client = leaky_run_takeover_client
+    try:
+        yield
+    finally:
+        instance_mod.run_takeover_client = original
+
+
+@contextmanager
+def _drop_broker_sessions() -> Iterator[None]:
+    """The broker forgets session context when a relay path dies.
+
+    ``_detach_paths`` is patched to also clear the session table, so
+    every DCR re-home of a live tunnel is refused — the §4.2 behaviour
+    DCR exists to prevent.  Caught by ``mqtt-continuity``.
+    """
+    from ..appserver import brokers as brokers_mod
+    cls = brokers_mod.MqttBroker
+    original = cls._detach_paths
+
+    def forgetful_detach_paths(self, *args, **kwargs):
+        result = original(self, *args, **kwargs)
+        # PLANTED BUG: session context dies with the relay path.
+        self.sessions.clear()
+        return result
+
+    cls._detach_paths = forgetful_detach_paths
+    try:
+        yield
+    finally:
+        cls._detach_paths = original
+
+
+PLANTED_FAULTS = {
+    "skip_drain_gate": _skip_drain_gate,
+    "leak_takeover_fd": _leak_takeover_fd,
+    "drop_broker_sessions": _drop_broker_sessions,
+}
+
+
+@contextmanager
+def planted_fault(name: Optional[str]) -> Iterator[None]:
+    """Apply the named plant for the duration of the block (None = no-op)."""
+    if name is None:
+        yield
+        return
+    if name not in PLANTED_FAULTS:
+        raise ValueError(
+            f"unknown planted fault {name!r}; "
+            f"available: {sorted(PLANTED_FAULTS)}")
+    with PLANTED_FAULTS[name]():
+        yield

@@ -1,0 +1,147 @@
+"""Delta-debugging shrinker for violating scenarios.
+
+Given a scenario that trips one or more checkers, greedily minimize it
+while the same checker(s) still fire: drop fault-schedule entries, drop
+releases, shrink every cluster/client dimension toward its floor, then
+shorten the horizon.  Every accepted candidate is *strictly no larger*
+than what it replaced in faults, releases, hosts, clients and duration —
+the shrunken repro is guaranteed ``<=`` the original on all of them.
+
+Each probe is a full deterministic run, so shrinking is bounded by
+``run_budget`` rather than wall-clock guesswork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .runner import run_scenario
+from .scenario import Scenario
+
+__all__ = ["ShrinkResult", "shrink"]
+
+#: (field, floor) pairs the size pass walks, in order.  Proxies/apps
+#: keep a floor of 1 (an empty tier is a different scenario, not a
+#: smaller one); client counts may drop to zero.
+_SIZE_FIELDS = (
+    ("edge_proxies", 1),
+    ("origin_proxies", 1),
+    ("app_servers", 1),
+    ("brokers", 1),
+    ("web_clients", 0),
+    ("mqtt_users", 0),
+    ("quic_flows", 0),
+)
+
+
+@dataclass
+class ShrinkResult:
+    """What the shrinker converged on."""
+
+    scenario: Scenario
+    #: Checker names the minimized scenario still violates.
+    checkers: set[str]
+    #: Probe runs consumed (including the rejected candidates).
+    runs: int
+
+
+class _Probe:
+    """Budgeted 'does this candidate still fail the same way' oracle."""
+
+    def __init__(self, targets: set[str], run_budget: int):
+        self.targets = targets
+        self.checker_names = sorted(targets)
+        self.budget = run_budget
+        self.runs = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.runs >= self.budget
+
+    def still_fails(self, candidate: Scenario) -> bool:
+        if self.exhausted:
+            return False
+        self.runs += 1
+        result = run_scenario(candidate, checkers=self.checker_names)
+        return bool(result.violated_checkers() & self.targets)
+
+
+def _drop_entries(scenario: Scenario, attr: str, probe: _Probe) -> Scenario:
+    """Try removing schedule entries (faults/releases) one at a time."""
+    index = 0
+    while index < len(getattr(scenario, attr)) and not probe.exhausted:
+        entries = list(getattr(scenario, attr))
+        del entries[index]
+        candidate = replace(scenario, **{attr: entries})
+        if probe.still_fails(candidate):
+            scenario = candidate  # keep the deletion; same index now
+        else:                     # points at the next entry
+            index += 1
+    return scenario
+
+
+def _shrink_sizes(scenario: Scenario, probe: _Probe) -> Scenario:
+    """Walk each dimension: try the floor, else one halfway probe."""
+    for fuzz_field, floor in _SIZE_FIELDS:
+        current = getattr(scenario, fuzz_field)
+        if current <= floor or probe.exhausted:
+            continue
+        candidate = replace(scenario, **{fuzz_field: floor})
+        if probe.still_fails(candidate):
+            scenario = candidate
+            continue
+        halfway = (current + floor) // 2
+        if floor < halfway < current and not probe.exhausted:
+            candidate = replace(scenario, **{fuzz_field: halfway})
+            if probe.still_fails(candidate):
+                scenario = candidate
+    return scenario
+
+
+def _shorten_duration(scenario: Scenario, probe: _Probe) -> Scenario:
+    """Cut the horizon while the violation still fits inside it."""
+    floor = 1.0 + max(
+        [entry["at"] for entry in scenario.faults + scenario.releases]
+        or [scenario.duration])
+    for fraction in (0.4, 0.6, 0.8):
+        if probe.exhausted:
+            break
+        shorter = round(max(floor, scenario.duration * fraction), 3)
+        if shorter >= scenario.duration:
+            continue
+        candidate = replace(scenario, duration=shorter)
+        if probe.still_fails(candidate):
+            return candidate
+    return scenario
+
+
+def shrink(scenario: Scenario,
+           target_checkers: Optional[set[str]] = None,
+           run_budget: int = 40) -> ShrinkResult:
+    """Minimize ``scenario`` while ``target_checkers`` still fire.
+
+    Without explicit targets, one baseline run establishes which
+    checkers the scenario violates; a clean scenario comes back
+    unchanged.  The result's scenario is ``<=`` the input in every
+    dimension the shrinker touches.
+    """
+    runs = 0
+    if target_checkers is None:
+        baseline = run_scenario(scenario)
+        runs += 1
+        target_checkers = baseline.violated_checkers()
+    if not target_checkers:
+        return ShrinkResult(scenario=scenario, checkers=set(), runs=runs)
+
+    probe = _Probe(target_checkers, run_budget)
+    while not probe.exhausted:
+        before = scenario.to_json()
+        scenario = _drop_entries(scenario, "faults", probe)
+        scenario = _drop_entries(scenario, "releases", probe)
+        scenario = _shrink_sizes(scenario, probe)
+        scenario = _shorten_duration(scenario, probe)
+        if scenario.to_json() == before:
+            break  # fixpoint: a full pass changed nothing
+    return ShrinkResult(scenario=scenario, checkers=set(target_checkers),
+                        runs=runs + probe.runs)

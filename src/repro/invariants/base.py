@@ -1,0 +1,168 @@
+"""Checker protocol, violation records, and the per-deployment suite.
+
+The tap mechanism mirrors :mod:`repro.faults`: components carry an
+optional ``invariant_tap`` attribute (``None`` by default, so the hot
+paths pay one attribute read when no suite is attached); the suite sets
+itself as the tap on attach and receives events via :meth:`InvariantSuite
+.record`.  Checkers are plain objects — they keep whatever state they
+need, receive every event, get sampled on a fixed sim-time cadence, and
+run a final pass when the suite is finalized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..release import orchestrator as release_orchestrator
+
+__all__ = ["InvariantChecker", "InvariantSuite", "InvariantViolation"]
+
+
+@dataclass
+class InvariantViolation:
+    """One detected invariant break."""
+
+    checker: str
+    message: str
+    at: float
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.checker}] t={self.at:.3f} {self.message}"
+
+
+class InvariantChecker:
+    """Base class: event sink + periodic sample + final pass.
+
+    Subclasses set ``name`` and override any of :meth:`on_event`,
+    :meth:`sample`, :meth:`finalize`.  Violations are recorded through
+    :meth:`violation`, which caps the per-checker count so one broken
+    invariant cannot flood a fuzz report.
+    """
+
+    name = "invariant"
+    max_violations = 100
+
+    def __init__(self) -> None:
+        self.suite: Optional["InvariantSuite"] = None
+        self.violations: list[InvariantViolation] = []
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, suite: "InvariantSuite") -> None:
+        self.suite = suite
+
+    @property
+    def deployment(self):
+        return self.suite.deployment
+
+    @property
+    def now(self) -> float:
+        return self.suite.deployment.env.now
+
+    def violation(self, message: str, **details: Any) -> None:
+        if len(self.violations) >= self.max_violations:
+            return
+        self.violations.append(InvariantViolation(
+            checker=self.name, message=message, at=self.now,
+            details=details))
+
+    # -- hooks -----------------------------------------------------------
+
+    def on_event(self, event: str, **fields: Any) -> None:
+        """A tap fired somewhere in the deployment."""
+
+    def sample(self) -> None:
+        """Periodic whole-deployment inspection."""
+
+    def finalize(self) -> None:
+        """End-of-run pass (the run's processes are quiesced)."""
+
+
+class InvariantSuite:
+    """All checkers attached to one deployment.
+
+    ``sample_interval`` deliberately avoids resonating with the
+    integer-second cadence most harness events use, so periodic samples
+    land between state transitions rather than exactly on them.
+    """
+
+    def __init__(self, deployment, checkers: Optional[list] = None,
+                 sample_interval: float = 0.997):
+        # Imported lazily to avoid a module cycle and keep the
+        # dependency direction (base <- checkers) obvious.
+        from .checkers import default_checkers
+        self.deployment = deployment
+        self.env = deployment.env
+        self.checkers: list[InvariantChecker] = (
+            checkers if checkers is not None else default_checkers())
+        self.sample_interval = sample_interval
+        self._attached = False
+        self._finalized = False
+        for checker in self.checkers:
+            checker.attach(self)
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self) -> "InvariantSuite":
+        """Install taps on every component; idempotent."""
+        if self._attached:
+            return self
+        self._attached = True
+        deployment = self.deployment
+        deployment.invariant_suite = self
+        for server in deployment.edge_servers + deployment.origin_servers:
+            server.invariant_tap = self
+        for server in deployment.app_servers:
+            server.invariant_tap = self
+        release_orchestrator.add_release_observer(self._on_release)
+        self.env.process(self._sample_loop())
+        return self
+
+    def _on_release(self, phase: str, release) -> None:
+        """Orchestrator hook: only releases touching *our* components."""
+        ours = {id(s) for s in (self.deployment.edge_servers
+                                + self.deployment.origin_servers
+                                + self.deployment.app_servers)}
+        if not any(id(target) in ours for target in release.targets):
+            return
+        self.record(f"release_{phase}", release=release)
+
+    def _sample_loop(self):
+        while True:
+            yield self.env.timeout(self.sample_interval)
+            self.sample()
+
+    # -- event fan-out ----------------------------------------------------
+
+    def record(self, event: str, **fields: Any) -> None:
+        """Dispatch one tap event to every checker."""
+        for checker in self.checkers:
+            checker.on_event(event, **fields)
+
+    def sample(self) -> None:
+        for checker in self.checkers:
+            checker.sample()
+
+    def finalize(self) -> list[InvariantViolation]:
+        """Run the end-of-run passes; detach; return all violations."""
+        if not self._finalized:
+            self._finalized = True
+            release_orchestrator.remove_release_observer(self._on_release)
+            for checker in self.checkers:
+                checker.finalize()
+        return self.violations
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def violations(self) -> list[InvariantViolation]:
+        out: list[InvariantViolation] = []
+        for checker in self.checkers:
+            out.extend(checker.violations)
+        out.sort(key=lambda v: (v.at, v.checker))
+        return out
+
+    def checker_names(self) -> list[str]:
+        return [checker.name for checker in self.checkers]

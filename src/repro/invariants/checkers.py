@@ -1,0 +1,430 @@
+"""The concrete invariant checkers.
+
+Each checker encodes one correctness claim as a *true invariant*: it
+must hold even while faults from :mod:`repro.faults` are active — that
+is the whole point of fuzzing the fault space.  Where a fault
+legitimately excuses a condition (a crashed machine is allowed to serve
+nothing), the checker consults the deployment's fault records instead of
+silently weakening the claim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import InvariantChecker
+
+__all__ = ["CHECKERS", "default_checkers", "make_checkers",
+           "FdConservationChecker", "ReuseportStabilityChecker",
+           "RequestConservationChecker", "PprExactlyOnceChecker",
+           "MqttContinuityChecker", "CapacityFloorChecker",
+           "DrainMonotonicityChecker", "BudgetSanityChecker"]
+
+
+class FdConservationChecker(InvariantChecker):
+    """§4.1/§5.1: no leaked ``FileDescription`` references.
+
+    At every quiescent point, each open-file-description's refcount must
+    equal the number of file-table entries live processes hold for it,
+    and every kernel-registered socket must be reachable from some live
+    process.  During a takeover handshake FDs legitimately ride a UNIX
+    channel as in-flight references, so hosts with a handshake in
+    progress are skipped until it ends.
+    """
+
+    name = "fd-conservation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._in_takeover: set[str] = set()
+
+    def on_event(self, event: str, **fields) -> None:
+        if event == "takeover_begin":
+            self._in_takeover.add(fields["server"].host.name)
+        elif event == "takeover_end":
+            host = fields["server"].host
+            self._in_takeover.discard(host.name)
+            if fields.get("ok"):
+                self.check_host(host)
+
+    def sample(self) -> None:
+        self._check_all()
+
+    def finalize(self) -> None:
+        self._check_all()
+
+    def _check_all(self) -> None:
+        for host in self.deployment.network.hosts():
+            if host.name not in self._in_takeover:
+                self.check_host(host)
+
+    def check_host(self, host) -> None:
+        refs: dict[int, int] = {}
+        descriptions: dict[int, object] = {}
+        for process in host.live_processes():
+            for description in process.fd_table.snapshot().values():
+                key = id(description)
+                refs[key] = refs.get(key, 0) + 1
+                descriptions[key] = description
+        for key, count in refs.items():
+            description = descriptions[key]
+            if description.refcount != count:
+                self.violation(
+                    f"host {host.name}: open-file-description has "
+                    f"refcount {description.refcount} but {count} live "
+                    f"table references",
+                    host=host.name, refcount=description.refcount,
+                    table_refs=count,
+                    resource=repr(description.resource))
+        reachable = {id(d.resource) for d in descriptions.values()}
+        for listener in host.kernel.tcp_listeners.values():
+            if not listener.closed and id(listener) not in reachable:
+                self.violation(
+                    f"host {host.name}: TCP listener on "
+                    f"{listener.endpoint} is kernel-bound but no live "
+                    f"process references it",
+                    host=host.name, endpoint=str(listener.endpoint))
+        for endpoint, group in host.kernel.udp_groups.items():
+            for sock in group.sockets:
+                if not sock.closed and id(sock) not in reachable:
+                    self.violation(
+                        f"host {host.name}: UDP socket on {endpoint} is "
+                        f"in the reuseport ring but no live process "
+                        f"references it",
+                        host=host.name, endpoint=str(endpoint))
+
+
+class ReuseportStabilityChecker(InvariantChecker):
+    """§4.1: passing UDP FDs keeps the SO_REUSEPORT ring stable.
+
+    With ``pass_udp_fds`` the new generation serves the *same* sockets,
+    so the kernel ring must not churn across a completed takeover —
+    churn is exactly what misroutes QUIC flows in the Fig 2d ablation.
+    """
+
+    name = "reuseport-stability"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: server name → {endpoint: ring version at takeover start}.
+        self._windows: dict[str, dict] = {}
+        self._crashes: dict[str, float] = {}
+
+    def on_event(self, event: str, **fields) -> None:
+        if event == "takeover_begin":
+            server = fields["server"]
+            if not (server.config.enable_takeover
+                    and server.config.pass_udp_fds):
+                return
+            kernel = server.host.kernel
+            self._windows[server.name] = {
+                endpoint: group.version
+                for endpoint, group in kernel.udp_groups.items()}
+            self._crashes[server.name] = server.counters.get("crashes")
+        elif event == "takeover_end":
+            server = fields["server"]
+            before = self._windows.pop(server.name, None)
+            crashes_before = self._crashes.pop(server.name, None)
+            if before is None or not fields.get("ok"):
+                return
+            if server.counters.get("crashes") != crashes_before:
+                return  # the machine died mid-handover; ring churn is real
+            kernel = server.host.kernel
+            for endpoint, version in before.items():
+                group = kernel.udp_groups.get(endpoint)
+                now_version = group.version if group is not None else None
+                if now_version != version:
+                    self.violation(
+                        f"{server.name}: reuseport ring for {endpoint} "
+                        f"changed across takeover "
+                        f"(version {version} -> {now_version})",
+                        server=server.name, endpoint=str(endpoint),
+                        before=version, after=now_version)
+
+
+class RequestConservationChecker(InvariantChecker):
+    """Every web request ends in exactly one terminal outcome.
+
+    started == ok + error + shed + timeout + conn_reset + conn_closed
+    (+ the send-path reset counter) + still-in-flight, per request kind.
+    A missed accounting path — a request silently dropped — breaks the
+    balance.
+    """
+
+    name = "request-conservation"
+
+    _TERMINALS = ("ok", "error", "shed", "timeout", "conn_reset",
+                  "conn_closed")
+
+    def sample(self) -> None:
+        self._check()
+
+    def finalize(self) -> None:
+        self._check()
+
+    def _check(self) -> None:
+        population = self.deployment.web_clients
+        if population is None:
+            return
+        counters = population.counters
+        for kind, started_name, extra in (
+                ("get", "get_started", "request_conn_reset"),
+                ("post", "posts_started", None)):
+            started = counters.get(started_name)
+            finished = sum(counters.get(f"{kind}_{terminal}")
+                           for terminal in self._TERMINALS)
+            if extra is not None:
+                finished += counters.get(extra)
+            inflight = population.inflight.get(kind, 0)
+            if started != finished + inflight:
+                self.violation(
+                    f"web {kind} requests do not balance: started "
+                    f"{started:g} != finished {finished:g} + in-flight "
+                    f"{inflight}",
+                    kind=kind, started=started, finished=finished,
+                    inflight=inflight)
+
+
+class PprExactlyOnceChecker(InvariantChecker):
+    """§4.3: a streaming POST body is applied server-side exactly once.
+
+    A valid Partial Post Replay moves the upload to a healthy server
+    *because* the draining one never completed it; two completions for
+    the same request id mean the side effect ran twice.
+    """
+
+    name = "ppr-exactly-once"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._applied: dict[int, list[str]] = {}
+
+    def on_event(self, event: str, **fields) -> None:
+        if event != "post_applied":
+            return
+        request_id = fields["request_id"]
+        server = fields["server"]
+        where = self._applied.setdefault(request_id, [])
+        where.append(server.name)
+        if len(where) > 1:
+            self.violation(
+                f"POST {request_id} applied {len(where)} times "
+                f"(servers: {', '.join(where)})",
+                request_id=request_id, servers=list(where))
+
+
+class MqttContinuityChecker(InvariantChecker):
+    """§4.2: a DCR re-home never finds its broker session gone.
+
+    Brokers keep session context when a relay path dies
+    (``_detach_paths`` nulls the path, not the session), so a
+    ``ReConnect`` splice for a live tunnel must always be accepted.
+    ``dcr_refused`` counts exactly the broken case.
+    """
+
+    name = "mqtt-continuity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._reported: set[str] = set()
+
+    def sample(self) -> None:
+        self._check()
+
+    def finalize(self) -> None:
+        self._check()
+
+    def _check(self) -> None:
+        for broker in self.deployment.brokers:
+            if broker.name in self._reported:
+                continue
+            refused = broker.counters.get("dcr_refused")
+            if refused > 0:
+                self._reported.add(broker.name)
+                self.violation(
+                    f"{broker.name}: {refused:g} DCR reconnects refused "
+                    f"— broker session context was dropped",
+                    broker=broker.name, refused=refused)
+
+
+class CapacityFloorChecker(InvariantChecker):
+    """§2.3/§6.1: a rolling release never takes down more than a batch.
+
+    While a release walks a proxy tier, the number of its targets not
+    serving must stay within one batch, plus targets the release itself
+    recorded as permanently failed, plus targets downed by an active
+    ``host_crash`` fault.  Machines mid-takeover are excused — ZDR's
+    handover window is sub-millisecond and never drops the VIP.
+    """
+
+    name = "capacity-floor"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._releases: list = []
+        self._in_takeover: set[str] = set()
+
+    def on_event(self, event: str, **fields) -> None:
+        if event == "release_begin":
+            self._releases.append(fields["release"])
+        elif event == "release_end":
+            release = fields["release"]
+            if release in self._releases:
+                self._releases.remove(release)
+        elif event == "takeover_begin":
+            self._in_takeover.add(fields["server"].name)
+        elif event == "takeover_end":
+            self._in_takeover.discard(fields["server"].name)
+
+    @staticmethod
+    def _serving(server) -> bool:
+        for instance in (server.active_instance, server.draining_instance):
+            if (instance is not None and instance.alive
+                    and instance.state == instance.STATE_ACTIVE):
+                return True
+        return False
+
+    def _crash_excused(self, names: set[str]) -> int:
+        injector = self.deployment.fault_injector
+        if injector is None:
+            return 0
+        excused = 0
+        for record in injector.records:
+            if record.spec.kind == "host_crash" and record.state == "active":
+                excused += sum(1 for t in record.targets if t in names)
+        return excused
+
+    def sample(self) -> None:
+        proxies = {id(s): s for s in (self.deployment.edge_servers
+                                      + self.deployment.origin_servers)}
+        for release in self._releases:
+            targets = [t for t in release.targets if id(t) in proxies]
+            if not targets:
+                continue
+            down = [t.name for t in targets
+                    if not self._serving(t)
+                    and t.name not in self._in_takeover]
+            names = {t.name for t in targets}
+            allowance = (release.config.batches(len(release.targets))
+                         + len(release.failed_targets)
+                         + self._crash_excused(names))
+            if len(down) > allowance:
+                self.violation(
+                    f"release '{release.name}': {len(down)} proxies down "
+                    f"({', '.join(sorted(down))}) exceeds the batch "
+                    f"allowance of {allowance}",
+                    release=release.name, down=sorted(down),
+                    allowance=allowance)
+
+
+class DrainMonotonicityChecker(InvariantChecker):
+    """A draining instance never accepts a new connection.
+
+    Connections whose handshake raced the drain flip (queued at the same
+    sim timestamp) are excused; anything accepted strictly after the
+    drain began means the drain gate was skipped.
+    """
+
+    name = "drain-monotonicity"
+
+    def on_event(self, event: str, **fields) -> None:
+        if event == "proxy_accept":
+            instance = fields["instance"]
+            if instance.state == instance.STATE_ACTIVE:
+                return
+            drained_at = instance.drain_started_at
+            if instance.state == instance.STATE_EXITED or (
+                    drained_at is not None and self.now > drained_at):
+                self.violation(
+                    f"{instance.name} accepted a connection while "
+                    f"{instance.state} (drain began at "
+                    f"{drained_at if drained_at is not None else '?'}s)",
+                    instance=instance.name, state=instance.state,
+                    drain_started_at=drained_at)
+        elif event == "app_accept":
+            server = fields["server"]
+            if server.state == server.STATE_ACTIVE:
+                return
+            drained_at = server.drain_started_at
+            if drained_at is not None and self.now > drained_at:
+                self.violation(
+                    f"{server.name} accepted a connection while "
+                    f"{server.state} (drain began at {drained_at}s)",
+                    server=server.name, state=server.state,
+                    drain_started_at=drained_at)
+
+
+class BudgetSanityChecker(InvariantChecker):
+    """Retries never exceed what the retry budget deposited.
+
+    The Finagle-style token bucket guarantees
+    ``spent <= floor + ratio * requests``; spending past that means a
+    withdrawal bypassed the budget.  Circuit breakers must also sit in a
+    legal state.
+    """
+
+    name = "retry-budget-sanity"
+
+    _STATES = frozenset({"closed", "open", "half_open"})
+
+    def sample(self) -> None:
+        self._check()
+
+    def finalize(self) -> None:
+        self._check()
+
+    def _check(self) -> None:
+        servers = (self.deployment.edge_servers
+                   + self.deployment.origin_servers)
+        for server in servers:
+            plane = server.resilience
+            if plane is None:
+                continue
+            for budget in (plane.retry_budget, plane.hedge_budget):
+                ceiling = budget.floor + budget.ratio * budget.requests
+                if budget.spent > ceiling + 1e-9:
+                    self.violation(
+                        f"{server.name}: {budget.name} budget spent "
+                        f"{budget.spent} tokens but only "
+                        f"{ceiling:.3f} were ever available",
+                        server=server.name, budget=budget.name,
+                        spent=budget.spent, ceiling=ceiling)
+            for key, breaker in plane.breakers.breakers.items():
+                if breaker.state not in self._STATES:
+                    self.violation(
+                        f"{server.name}: breaker {key} in illegal state "
+                        f"{breaker.state!r}",
+                        server=server.name, breaker=key,
+                        state=breaker.state)
+
+
+#: name → class, in reporting order.
+CHECKERS = {
+    checker.name: checker
+    for checker in (
+        FdConservationChecker,
+        ReuseportStabilityChecker,
+        RequestConservationChecker,
+        PprExactlyOnceChecker,
+        MqttContinuityChecker,
+        CapacityFloorChecker,
+        DrainMonotonicityChecker,
+        BudgetSanityChecker,
+    )
+}
+
+
+def default_checkers() -> list[InvariantChecker]:
+    """Fresh instances of every checker."""
+    return [cls() for cls in CHECKERS.values()]
+
+
+def make_checkers(names: Optional[list[str]] = None) -> list[InvariantChecker]:
+    """Fresh instances of the named checkers (all when ``names`` is None)."""
+    if names is None:
+        return default_checkers()
+    unknown = [n for n in names if n not in CHECKERS]
+    if unknown:
+        raise ValueError(
+            f"unknown checkers {unknown}; available: {sorted(CHECKERS)}")
+    return [CHECKERS[name]() for name in names]

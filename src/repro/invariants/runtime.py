@@ -1,0 +1,53 @@
+"""Always-on invariant checking for harness-built deployments.
+
+The experiment harnesses (and the integration tests that reuse them)
+call :func:`install` right after constructing a deployment; at the end
+of the run :func:`drain` finalizes every installed suite and hands back
+whatever violations accumulated.  This is how the tier-1 test suite
+doubles as an invariant test suite: any scenario a test drives through
+``build_deployment`` is silently also a fuzz oracle run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import InvariantSuite, InvariantViolation
+
+__all__ = ["install", "drain", "active_suites", "set_enabled"]
+
+_suites: list[InvariantSuite] = []
+_enabled = True
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Globally toggle always-on installation; returns the old value."""
+    global _enabled
+    previous = _enabled
+    _enabled = enabled
+    return previous
+
+
+def install(deployment, checkers: Optional[list] = None
+            ) -> Optional[InvariantSuite]:
+    """Attach a fresh suite to ``deployment`` and register it for drain."""
+    if not _enabled:
+        return None
+    suite = InvariantSuite(deployment, checkers=checkers)
+    suite.attach()
+    _suites.append(suite)
+    return suite
+
+
+def active_suites() -> list[InvariantSuite]:
+    return list(_suites)
+
+
+def drain() -> list[InvariantViolation]:
+    """Finalize every registered suite; clear the registry."""
+    violations: list[InvariantViolation] = []
+    while _suites:
+        suite = _suites.pop()
+        violations.extend(suite.finalize())
+    violations.sort(key=lambda v: (v.at, v.checker))
+    return violations

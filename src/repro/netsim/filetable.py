@@ -107,6 +107,21 @@ class FileTable:
             description = self._fds.pop(fd)
             description.decref()
 
+    def live_count(self) -> int:
+        """Open FDs whose description is still live (leak audits)."""
+        return sum(1 for d in self._fds.values() if not d.closed)
+
+    def snapshot(self) -> dict[int, FileDescription]:
+        """A point-in-time copy of the table (fd → description).
+
+        The descriptions themselves are shared, not copied: callers use
+        this to audit reference counts (e.g. "every reference on an
+        open-file-description is accounted for by some live process's
+        table entry" — the FD-conservation invariant Socket Takeover
+        must preserve).
+        """
+        return dict(self._fds)
+
     def find_fd(self, resource: Any) -> Optional[int]:
         """First FD whose description points at ``resource`` (or None)."""
         for fd, description in sorted(self._fds.items()):

@@ -77,6 +77,9 @@ class ProxygenInstance:
         self.counters = server.counters
         self.state = self.STATE_STARTING
         self.exited_event = self.host.env.event()
+        #: Sim time the drain began (None while not draining) — lets the
+        #: drain-monotonicity invariant excuse same-instant accept races.
+        self.drain_started_at: Optional[float] = None
 
         self.tcp_listeners: dict[str, "TcpListenSocket"] = {}
         self.udp_sockets: dict[str, list["UdpSocket"]] = {}
@@ -233,6 +236,7 @@ class ProxygenInstance:
         if self.state != self.STATE_ACTIVE:
             return
         self.state = self.STATE_DRAINING
+        self.drain_started_at = self.host.env.now
         self.counters.inc("drain_started", tag=reason)
         if self._takeover_listener is not None:
             self._takeover_listener.close()
@@ -285,6 +289,9 @@ class ProxygenInstance:
     def _accept_loop(self, vip_name: str, listener: "TcpListenSocket"):
         while self.serving and not listener.closed:
             conn = yield listener.accept(self.process)
+            tap = self.server.invariant_tap
+            if tap is not None:
+                tap.record("proxy_accept", instance=self, vip=vip_name)
             # Spawn the serve task *immediately*: once accept() returned,
             # this connection belongs to our process and must be served
             # through the drain even if the loop is interrupted right

@@ -23,7 +23,31 @@ from ..netsim.proc_utils import TIMED_OUT, with_timeout
 from ..simkernel.core import Environment
 from ..simkernel.events import AllOf, Interrupt
 
-__all__ = ["BatchRecord", "RollingRelease", "RollingReleaseConfig"]
+__all__ = ["BatchRecord", "RollingRelease", "RollingReleaseConfig",
+           "add_release_observer", "remove_release_observer"]
+
+# Module-level observers, notified as ``cb(phase, release)`` with phase
+# in {"begin", "end"}.  Observers (the invariant suites) register here
+# because releases are constructed ad hoc by experiments and tests —
+# there is no central object to hang a hook on.  An observer never sees
+# a release it does not care about twice: "end" fires exactly once per
+# execute(), on every exit path.
+_observers: list = []
+
+
+def add_release_observer(callback) -> None:
+    if callback not in _observers:
+        _observers.append(callback)
+
+
+def remove_release_observer(callback) -> None:
+    if callback in _observers:
+        _observers.remove(callback)
+
+
+def _notify(phase: str, release: "RollingRelease") -> None:
+    for callback in list(_observers):
+        callback(phase, release)
 
 
 @dataclass
@@ -134,29 +158,33 @@ class RollingRelease:
         config.validate()
         self.started_at = self.env.now
         batch_size = config.batches(len(self.targets))
-        # Walk the fleet in fixed order, batch_size at a time.
-        for index, start in enumerate(range(0, len(self.targets),
-                                            batch_size)):
-            batch = self.targets[start:start + batch_size]
-            record = BatchRecord(
-                index=index,
-                targets=[self._target_name(t) for t in batch],
-                started_at=self.env.now)
-            yield from self._run_batch(batch, record)
-            if config.post_batch_wait > 0:
-                yield self.env.timeout(config.post_batch_wait)
-            record.finished_at = self.env.now
-            self.batches.append(record)
-            if (config.error_budget is not None
-                    and len(self.failed_targets) > config.error_budget):
-                self.aborted = True
-                if config.rollback_on_abort:
-                    yield from self._rollback()
-                break
-            more = start + batch_size < len(self.targets)
-            if more and config.inter_batch_gap > 0:
-                yield self.env.timeout(config.inter_batch_gap)
-        self.finished_at = self.env.now
+        _notify("begin", self)
+        try:
+            # Walk the fleet in fixed order, batch_size at a time.
+            for index, start in enumerate(range(0, len(self.targets),
+                                                batch_size)):
+                batch = self.targets[start:start + batch_size]
+                record = BatchRecord(
+                    index=index,
+                    targets=[self._target_name(t) for t in batch],
+                    started_at=self.env.now)
+                yield from self._run_batch(batch, record)
+                if config.post_batch_wait > 0:
+                    yield self.env.timeout(config.post_batch_wait)
+                record.finished_at = self.env.now
+                self.batches.append(record)
+                if (config.error_budget is not None
+                        and len(self.failed_targets) > config.error_budget):
+                    self.aborted = True
+                    if config.rollback_on_abort:
+                        yield from self._rollback()
+                    break
+                more = start + batch_size < len(self.targets)
+                if more and config.inter_batch_gap > 0:
+                    yield self.env.timeout(config.inter_batch_gap)
+            self.finished_at = self.env.now
+        finally:
+            _notify("end", self)
 
     def _run_batch(self, batch, record: BatchRecord):
         """Generator: one batch through up to ``max_attempts`` rounds."""

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.invariants import runtime as invariant_runtime
 from repro.metrics import MetricsRegistry
 from repro.netsim import Host, LinkProfile, Network
 from repro.simkernel import Environment, RandomStreams
@@ -27,3 +28,20 @@ class World:
 @pytest.fixture
 def world():
     return World()
+
+
+@pytest.fixture(autouse=True)
+def _invariant_guard():
+    """Always-on invariant checking for harness-built deployments.
+
+    Any test that builds a deployment through the experiment harness
+    (``experiments.common.build_deployment``) silently runs under the
+    full invariant suite; a violation fails the test here even if its
+    own assertions passed.
+    """
+    invariant_runtime.drain()  # a prior test may have left suites behind
+    yield
+    violations = invariant_runtime.drain()
+    assert not violations, (
+        "invariant violations during test: "
+        + "; ".join(str(v) for v in violations[:5]))

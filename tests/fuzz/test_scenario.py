@@ -1,0 +1,65 @@
+"""Scenario generation and serialization: the fuzzer's replay contract."""
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz.scenario import SCENARIO_FORMAT, Scenario, generate_scenario
+
+
+def test_generation_is_deterministic():
+    for seed in (0, 1, 7, 42):
+        assert generate_scenario(seed) == generate_scenario(seed)
+
+
+def test_different_seeds_differ():
+    scenarios = [generate_scenario(seed) for seed in range(10)]
+    assert len({s.to_json() for s in scenarios}) > 1
+
+
+def test_generated_scenarios_are_well_formed():
+    for seed in range(11):
+        scenario = generate_scenario(seed)
+        assert scenario.seed == seed
+        assert scenario.duration > 0
+        assert scenario.edge_proxies >= 1
+        assert scenario.app_servers >= 1
+        # Faults and releases fit inside the schedule and are ordered.
+        ats = [f["at"] for f in scenario.faults]
+        assert ats == sorted(ats)
+        for entry in scenario.faults + scenario.releases:
+            assert 0 < entry["at"] < scenario.duration
+        # Every fault spec survives FaultPlan validation.
+        scenario.fault_plan()
+        # There is always something to exercise.
+        assert scenario.releases or scenario.faults
+
+
+def test_json_roundtrip():
+    for seed in (0, 3, 9):
+        scenario = generate_scenario(seed, planted="leak_takeover_fd")
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+
+def test_format_version_mismatch_raises():
+    payload = generate_scenario(0).to_dict()
+    payload["format"] = SCENARIO_FORMAT + 1
+    with pytest.raises(ValueError):
+        Scenario.from_dict(payload)
+
+
+def test_unknown_field_raises():
+    payload = generate_scenario(0).to_dict()
+    payload["warp_drive"] = True
+    with pytest.raises(TypeError):
+        Scenario.from_dict(payload)
+
+
+def test_fault_plan_empty_when_no_faults():
+    scenario = dataclasses.replace(generate_scenario(0), faults=[])
+    assert scenario.fault_plan() is None
+
+
+def test_describe_mentions_shape():
+    text = generate_scenario(0).describe()
+    assert "seed=0" in text

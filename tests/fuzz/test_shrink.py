@@ -1,0 +1,80 @@
+"""Satellite: shrinking a caught violation and replaying its repro file."""
+
+import pytest
+
+from repro.fuzz.runner import run_scenario
+from repro.fuzz.scenario import Scenario
+from repro.fuzz.shrink import _SIZE_FIELDS, shrink
+
+
+def _violating_scenario():
+    """A small scenario whose planted takeover leak the fd checker catches."""
+    return Scenario(
+        seed=0, duration=14.0, edge_proxies=2, origin_proxies=1,
+        app_servers=2, brokers=1, web_clients=4, mqtt_users=2,
+        quic_flows=0, post_fraction=0.1, drain_duration=3.0,
+        edge_takeover=True,
+        releases=[{"tier": "edge", "at": 2.0, "batch_fraction": 0.5}],
+        faults=[{"kind": "slow_host", "where": "appserver-0", "at": 3.0,
+                 "duration": 4.0, "params": {"speed_factor": 0.5}}],
+        planted="leak_takeover_fd",
+    )
+
+
+@pytest.fixture(scope="module")
+def shrunk():
+    original = _violating_scenario()
+    result = shrink(original, run_budget=14)
+    return original, result
+
+
+def test_violation_refails_deterministically():
+    scenario = _violating_scenario()
+    first = run_scenario(scenario)
+    second = run_scenario(scenario)
+    assert "fd-conservation" in first.violated_checkers()
+    assert first.violated_checkers() == second.violated_checkers()
+
+
+def test_shrunk_scenario_still_fails(shrunk):
+    _, result = shrunk
+    assert "fd-conservation" in result.checkers
+    replay = run_scenario(result.scenario)
+    assert "fd-conservation" in replay.violated_checkers()
+
+
+def test_shrunk_is_no_larger_than_original(shrunk):
+    original, result = shrunk
+    small = result.scenario
+    assert len(small.faults) <= len(original.faults)
+    assert len(small.releases) <= len(original.releases)
+    assert small.duration <= original.duration
+    for name, floor in _SIZE_FIELDS:
+        assert floor <= getattr(small, name) <= getattr(original, name), name
+
+
+def test_shrinker_actually_reduced(shrunk):
+    """The distracting slow_host fault and the extra proxy must go."""
+    _, result = shrunk
+    assert not result.scenario.faults
+    assert result.scenario.edge_proxies == 1
+
+
+def test_repro_file_roundtrip_replays_same_violation(shrunk, tmp_path):
+    _, result = shrunk
+    path = tmp_path / "repro.json"
+    path.write_text(result.scenario.to_json())
+    reloaded = Scenario.from_json(path.read_text())
+    assert reloaded == result.scenario
+    replay = run_scenario(reloaded)
+    assert "fd-conservation" in replay.violated_checkers()
+
+
+def test_shrink_gives_up_cleanly_on_healthy_scenario():
+    healthy = Scenario(
+        seed=1, duration=10.0, edge_proxies=1, origin_proxies=1,
+        app_servers=1, brokers=1, web_clients=2, mqtt_users=0,
+        releases=[{"tier": "edge", "at": 2.0, "batch_fraction": 1.0}])
+    result = shrink(healthy, run_budget=6)
+    assert result.checkers == set()
+    assert result.scenario == healthy

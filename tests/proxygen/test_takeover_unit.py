@@ -8,6 +8,25 @@ from repro.proxygen.instance import ProxygenInstance
 from .conftest import MiniStack
 
 
+def _assert_no_fd_leak(host):
+    """FD conservation on one machine: every open-file-description's
+    refcount is accounted for by live processes' table entries, and no
+    closed description lingers in any table."""
+    refs = {}
+    descriptions = {}
+    for process in host.live_processes():
+        table = process.fd_table
+        assert table.live_count() == len(table.snapshot()), \
+            f"{process.name}: closed descriptions still installed"
+        for description in table.snapshot().values():
+            refs[id(description)] = refs.get(id(description), 0) + 1
+            descriptions[id(description)] = description
+    for key, description in descriptions.items():
+        assert description.refcount == refs[key], (
+            f"leaked reference: {description!r} has refcount "
+            f"{description.refcount} but {refs[key]} live table entries")
+
+
 def test_takeover_shares_listeners_and_udp_rings(world):
     stack = MiniStack(world).start()
     edge = stack.edge
@@ -31,6 +50,9 @@ def test_takeover_shares_listeners_and_udp_rings(world):
     # Old is draining; new knows where to user-space-route.
     assert old.state == ProxygenInstance.STATE_DRAINING
     assert new.sibling_forward_port == old.forward_port
+    # Zero FD leakage with two generations alive: every description
+    # reference is held by a live table entry.
+    _assert_no_fd_leak(stack.edge_host)
 
 
 def test_takeover_without_udp_fds_rebinds(world):
@@ -66,6 +88,10 @@ def test_drain_end_exits_old_process(world):
     assert old.state == ProxygenInstance.STATE_EXITED
     assert edge.draining_instance is None
     assert edge.active_instance.sibling_forward_port is None
+    # The exited generation dropped every FD; nothing leaked across
+    # the takeover + drain cycle.
+    assert old.process.fd_table.live_count() == 0
+    _assert_no_fd_leak(stack.edge_host)
 
 
 def test_takeover_server_rebinds_for_next_generation(world):
@@ -78,6 +104,8 @@ def test_takeover_server_rebinds_for_next_generation(world):
         stack.env.run(until=stack.env.now + 3)
         assert edge.active_instance.generation == expected_gen
         assert edge.instance_count == 1
+        # FD count must not grow with the generation count.
+        _assert_no_fd_leak(stack.edge_host)
 
 
 def test_new_instance_answers_connects_during_drain(world):

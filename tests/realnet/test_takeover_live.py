@@ -1,5 +1,6 @@
 """Live zero-downtime restart of a real TCP server (threads + subprocess)."""
 
+import os
 import socket
 import subprocess
 import sys
@@ -9,6 +10,27 @@ import time
 import pytest
 
 from repro.realnet import MiniServer, TakeoverServer, request_takeover
+
+
+def _open_fd_count():
+    """This process's open FDs (Linux procfs; skipped elsewhere)."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        pytest.skip("/proc/self/fd not available")
+
+
+def _assert_fds_return_to(baseline, deadline_s=5.0):
+    """FD-conservation: after every generation is stopped, the process
+    must be back at its pre-takeover FD count — the §5.1 leak would
+    leave the passed listener's duplicate descriptor behind."""
+    deadline = time.time() + deadline_s
+    count = _open_fd_count()
+    while count > baseline and time.time() < deadline:
+        time.sleep(0.05)
+        count = _open_fd_count()
+    assert count <= baseline, (
+        f"fd leak after takeover: {count} open vs baseline {baseline}")
 
 
 def _http_get(addr, timeout=5):
@@ -42,6 +64,7 @@ def test_mini_server_serves(tmp_path):
 
 def test_takeover_handover_between_generations(tmp_path):
     path = str(tmp_path / "takeover.sock")
+    baseline_fds = _open_fd_count()
     gen1 = MiniServer.bind(name="gen1")
     gen1.start()
     takeover_srv = gen1.serve_takeover(path)
@@ -63,6 +86,8 @@ def test_takeover_handover_between_generations(tmp_path):
         gen1.stop(close_listener=True)
         assert _http_get(addr) == "gen2"
         gen2.stop()
+        takeover_srv.stop()
+        _assert_fds_return_to(baseline_fds)
     finally:
         takeover_srv.stop()
 

@@ -59,6 +59,7 @@ def test_udp_fds_pass_and_keep_receiving():
     """Pass the whole UDP ring over SCM_RIGHTS; the 'new process'
     (receiver side) reads datagrams sent before AND after the old side
     closed its references — zero packets stranded."""
+    baseline_fds = len(os.listdir("/proc/self/fd"))
     ring, addr = _bind_reuseport_ring(2)
     a, b = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
     sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -96,6 +97,9 @@ def test_udp_fds_pass_and_keep_receiving():
                 sock.close()
             except OSError:
                 pass
+    # FD conservation: every passed duplicate was closed; the handover
+    # must not leave extra descriptors behind (§5.1's leak).
+    assert len(os.listdir("/proc/self/fd")) <= baseline_fds
 
 
 def test_naive_rebind_changes_ring_vs_fd_passing():
