@@ -65,6 +65,12 @@ class AppServer:
         self.name = name or f"appserver@{host.name}"
         self.endpoint = Endpoint(host.ip, self.config.port)
         self.counters = host.metrics.scoped_counters(self.name)
+        # Bound handles for the per-request hot path.
+        self._c_status_200 = self.counters.bound("http_status", tag="200")
+        self._c_status_379 = self.counters.bound("http_status", tag="379")
+        self._c_served = self.counters.bound("requests_served")
+        self._c_posts_completed = self.counters.bound("posts_completed")
+        self._c_ppr_bytes = self.counters.bound("ppr_bytes_echoed")
         self.state = self.STATE_DOWN
         self.generation = 0
         self.process: Optional[SimProcess] = None
@@ -191,8 +197,8 @@ class AppServer:
         # size the response accordingly.
         post.conn.send(response, size=max(200, post.received_bytes))
         post.conn.close()
-        self.counters.inc("http_status", tag="379")
-        self.counters.inc("ppr_bytes_echoed", post.received_bytes)
+        self._c_status_379.inc()
+        self._c_ppr_bytes.inc(post.received_bytes)
 
     def _reply_error(self, post: InFlightPost) -> None:
         response = HttpResponse(
@@ -276,8 +282,8 @@ class AppServer:
             return
         conn.send(HttpResponse(STATUS_OK, request_id=request.id),
                   size=600)
-        self.counters.inc("http_status", tag="200")
-        self.counters.inc("requests_served")
+        self._c_status_200.inc()
+        self._c_served.inc()
 
     def _serve_streaming_post(self, conn: TcpEndpoint, request: HttpRequest):
         """Receive body chunks until done (or until a restart interrupts)."""
@@ -340,5 +346,5 @@ class AppServer:
             return
         conn.send(HttpResponse(STATUS_OK, request_id=request.id),
                   size=600)
-        self.counters.inc("http_status", tag="200")
-        self.counters.inc("posts_completed")
+        self._c_status_200.inc()
+        self._c_posts_completed.inc()

@@ -79,13 +79,15 @@ def build_deployment(seed: int = 0,
                      mqtt: Optional[MqttWorkloadConfig] = None,
                      quic: Optional[QuicWorkloadConfig] = None,
                      fault_plan=None,
+                     env=None,
                      **spec_kwargs) -> Deployment:
     """A deployment sized for experiment runtime (seconds, not minutes).
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan`) attaches fault
     injection for this run; without it, a plan set via
     :func:`repro.faults.set_ambient_plan` (the CLI's ``--faults``) still
-    applies.
+    applies.  ``env`` swaps the simulation kernel (e.g. the frozen
+    reference kernel for differential testing and benchmarking).
     """
     spec = DeploymentSpec(
         seed=seed,
@@ -103,7 +105,7 @@ def build_deployment(seed: int = 0,
         mqtt_workload=mqtt,
         quic_workload=quic,
         **spec_kwargs)
-    deployment = Deployment(spec, fault_plan=fault_plan)
+    deployment = Deployment(spec, env=env, fault_plan=fault_plan)
     # Always-on invariant checking: every harness-built deployment runs
     # under the full checker suite (drained via invariant_runtime.drain()).
     invariant_runtime.install(deployment)

@@ -109,10 +109,16 @@ def _drive_release(deployment: Deployment, entry: dict, releases: list):
 
 
 def run_scenario(scenario: Scenario,
-                 checkers: Optional[list[str]] = None) -> FuzzRunResult:
-    """Build, run and check one scenario (``checkers``: names or all)."""
+                 checkers: Optional[list[str]] = None,
+                 env=None) -> FuzzRunResult:
+    """Build, run and check one scenario (``checkers``: names or all).
+
+    ``env`` swaps the simulation kernel (e.g. a frozen
+    :class:`repro.simkernel.reference.Environment` for differential
+    testing); ``None`` uses the optimized live kernel.
+    """
     with planted_fault(scenario.planted):
-        deployment = Deployment(_build_spec(scenario),
+        deployment = Deployment(_build_spec(scenario), env=env,
                                 fault_plan=scenario.fault_plan())
         suite = InvariantSuite(deployment,
                                checkers=make_checkers(checkers))

@@ -27,27 +27,35 @@ def _quantile(sorted_values: Sequence[float], q: float) -> float:
 
 
 class Quantiles:
-    """Collects samples and reports p50/p90/p99/p99.9-style quantiles."""
+    """Collects samples and reports p50/p90/p99/p99.9-style quantiles.
+
+    Insertion is cheap by default: ``add`` *is* ``list.append`` (bound at
+    construction), and sortedness is tracked by comparing the list length
+    against the length at the last sort, so the per-sample hot path does
+    no bookkeeping at all.  Reads re-sort lazily.
+    """
+
+    __slots__ = ("_values", "_sorted_len", "add")
 
     def __init__(self):
         self._values: list[float] = []
-        self._sorted = True
-
-    def add(self, value: float) -> None:
-        self._values.append(value)
-        self._sorted = False
+        #: Length of ``_values`` at the last sort; a mismatch means new
+        #: samples arrived and a re-sort is needed.  (Samples are only
+        #: ever appended, never removed or mutated in place.)
+        self._sorted_len = 0
+        #: Per-sample fast path: a bound ``list.append``.
+        self.add = self._values.append
 
     def extend(self, values: Iterable[float]) -> None:
         self._values.extend(values)
-        self._sorted = False
 
     def __len__(self) -> int:
         return len(self._values)
 
     def _ensure_sorted(self) -> None:
-        if not self._sorted:
+        if len(self._values) != self._sorted_len:
             self._values.sort()
-            self._sorted = True
+            self._sorted_len = len(self._values)
 
     def quantile(self, q: float) -> float:
         self._ensure_sorted()

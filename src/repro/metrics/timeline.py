@@ -23,19 +23,22 @@ class TimeSeries:
             raise ValueError(f"Unknown mode {mode!r}")
         self.bucket_width = bucket_width
         self.mode = mode
+        self._is_max = mode == "max"
         self._sums: dict[int, float] = {}
         self._counts: dict[int, int] = {}
 
     def bucket_of(self, time: float) -> int:
-        return int(math.floor(time / self.bucket_width))
+        return math.floor(time / self.bucket_width)
 
     def record(self, time: float, value: float = 1.0) -> None:
-        bucket = self.bucket_of(time)
-        if self.mode == "max":
-            self._sums[bucket] = max(self._sums.get(bucket, float("-inf")), value)
+        bucket = math.floor(time / self.bucket_width)
+        sums = self._sums
+        if self._is_max:
+            sums[bucket] = max(sums.get(bucket, float("-inf")), value)
         else:
-            self._sums[bucket] = self._sums.get(bucket, 0.0) + value
-        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+            sums[bucket] = sums.get(bucket, 0.0) + value
+        counts = self._counts
+        counts[bucket] = counts.get(bucket, 0) + 1
 
     def value_at_bucket(self, bucket: int, default: float = 0.0) -> float:
         if bucket not in self._sums:
@@ -92,9 +95,14 @@ class IntervalAccumulator:
             raise ValueError("interval end before start")
         if end == start:
             return
+        first = math.floor(start / self.bucket_width)
+        last = math.floor((end - 1e-12) / self.bucket_width)
+        if first == last:
+            # Entirely inside one bucket: the whole weight lands there.
+            buckets = self._buckets
+            buckets[first] = buckets.get(first, 0.0) + weight
+            return
         rate = weight / (end - start)
-        first = int(math.floor(start / self.bucket_width))
-        last = int(math.floor((end - 1e-12) / self.bucket_width))
         for bucket in range(first, last + 1):
             bucket_start = bucket * self.bucket_width
             bucket_end = bucket_start + self.bucket_width

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from ..metrics.timeline import UtilizationTracker
 from ..simkernel.core import Environment
-from ..simkernel.resources import Resource
 
 __all__ = ["CpuModel", "CpuCosts"]
 
@@ -59,7 +58,7 @@ class CpuModel:
         self.env = env
         self.cores = cores
         self.speed = speed
-        self.resource = Resource(env, capacity=cores)
+        self.resource = env.make_resource(capacity=cores)
         self.tracker = tracker or UtilizationTracker(
             bucket_width, capacity=cores)
         self.total_busy_seconds = 0.0

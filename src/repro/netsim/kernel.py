@@ -35,6 +35,16 @@ class Kernel:
         self.tcp_listeners: dict[Endpoint, TcpListenSocket] = {}
         self.udp_groups: dict[Endpoint, ReusePortGroup] = {}
         self._next_port = EPHEMERAL_BASE
+        # Bound counter handles for per-packet paths (dynamic-tag
+        # counters like tcp_rst_sent:<reason> go through the pair cache
+        # in CounterSet.inc instead).
+        counters = host.counters
+        self._c_syn_sent = counters.bound("tcp_syn_sent")
+        self._c_accepted = counters.bound("tcp_accepted")
+        self._c_udp_sent = counters.bound("udp_sent")
+        self._c_udp_no_listener = counters.bound("udp_dropped_no_listener")
+        self._c_udp_closed = counters.bound("udp_dropped_closed_socket")
+        self._c_udp_delivered = counters.bound("udp_delivered")
 
     # -- helpers -----------------------------------------------------------
 
@@ -85,7 +95,7 @@ class Kernel:
         flow = FourTuple(Protocol.TCP, src, dst)
         client_end = TcpEndpoint(self, src, dst, via)
         client_end.set_owner(process)
-        self.host.counters.inc("tcp_syn_sent")
+        self._c_syn_sent.inc()
 
         network = self.host.network
         src_host = self.host
@@ -127,7 +137,7 @@ class Kernel:
         server_end = TcpEndpoint(self, flow.dst, flow.src, src_host.ip)
         TcpConnection(flow, client_end, server_end)
         listener.accept_queue.put(server_end)
-        self.host.counters.inc("tcp_accepted")
+        self._c_accepted.inc()
         # Tagged by source so experiments can separate e.g. L4 health
         # probes from real connection-establishment storms.
         self.host.counters.inc("tcp_accepted_from", tag=src_host.name)
@@ -188,7 +198,7 @@ class Kernel:
 
     def transmit_datagram(self, datagram: Datagram, via_ip: str) -> None:
         network = self.host.network
-        self.host.counters.inc("udp_sent")
+        self._c_udp_sent.inc()
 
         def arrives() -> None:
             dst_host = network.host(via_ip)
@@ -201,13 +211,13 @@ class Kernel:
     def _handle_datagram(self, datagram: Datagram) -> None:
         group = self.udp_groups.get(datagram.flow.dst)
         if group is None or len(group) == 0:
-            self.host.counters.inc("udp_dropped_no_listener")
+            self._c_udp_no_listener.inc()
             return
         sock = group.pick(datagram.flow)
         if sock is None or sock.closed:
-            self.host.counters.inc("udp_dropped_closed_socket")
+            self._c_udp_closed.inc()
             return
-        self.host.counters.inc("udp_delivered")
+        self._c_udp_delivered.inc()
         sock.inbox.put(datagram)
 
 

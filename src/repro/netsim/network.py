@@ -112,20 +112,32 @@ class Network:
         after a large one must not overtake it).  Returns the arrival
         time (even for drops, so callers can keep their ordering clock).
         """
-        delay = 0.0
+        env = self.env
+        now = env._now
         dst = self._hosts.get(dst_ip)
-        if dst is not None:
-            profile = self.profile_between(src, dst)
-            delay = profile.delay(size, self.rng)
-        arrival = max(self.env.now + delay, not_before)
         if dst is None:
             self.dropped += 1
-            return arrival
-        profile = self.profile_between(src, dst)
+            return max(now, not_before)
+        if src is dst:
+            profile = self.local_profile
+        else:
+            profile = self._profiles.get((src.site, dst.site),
+                                         self.default_profile)
+        # Inlined ``profile.delay`` — the rng draw order (jitter before
+        # the loss roll) must stay exactly as the frozen kernel era had
+        # it, or seeded runs diverge.
+        delay = profile.latency
+        if profile.jitter > 0:
+            delay += self.rng.uniform(0.0, profile.jitter)
+        if profile.bandwidth:
+            delay += size / profile.bandwidth
+        arrival = now + delay
+        if arrival < not_before:
+            arrival = not_before
         if profile.loss > 0 and self.rng.random() < profile.loss:
             self.dropped += 1
             return arrival
-        timeout = self.env.timeout(arrival - self.env.now)
+        timeout = env.timeout(arrival - now)
         timeout.callbacks.append(lambda _ev: deliver())
         return arrival
 

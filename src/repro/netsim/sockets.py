@@ -39,7 +39,7 @@ class TcpListenSocket:
         self.kernel = kernel
         self.endpoint = endpoint
         self.backlog = backlog
-        self.accept_queue: Store = Store(kernel.env)
+        self.accept_queue: Store = kernel.env.make_store()
         self.accepting = True
         self.closed = False
 
@@ -116,7 +116,7 @@ class TcpEndpoint:
         #: Physical host the peer endpoint lives on (may differ from the
         #: VIP in ``remote`` when an L4LB routed the connection).
         self.remote_host_ip = remote_host_ip
-        self.inbox: Store = Store(kernel.env)
+        self.inbox: Store = kernel.env.make_store()
         self.owner: Optional["SimProcess"] = None
         self.conn: Optional[TcpConnection] = None
         self.peer: Optional["TcpEndpoint"] = None
@@ -230,7 +230,7 @@ class UdpSocket:
         self.kernel = kernel
         self.endpoint = endpoint
         self.reuseport = reuseport
-        self.inbox: Store = Store(kernel.env)
+        self.inbox: Store = kernel.env.make_store()
         self.closed = False
 
     def sendto(self, payload: Any, dst: Endpoint, size: int = 100,

@@ -51,7 +51,7 @@ class UnixListener:
         self.host = host
         self.path = path
         self.owner = owner
-        self.accept_queue: Store = Store(host.env)
+        self.accept_queue: Store = host.env.make_store()
         self.closed = False
 
     def accept(self) -> StoreGetEvent:
@@ -72,7 +72,7 @@ class UnixChannelEnd:
     def __init__(self, host: "Host", process: "SimProcess"):
         self.host = host
         self.process = process
-        self.inbox: Store = Store(host.env)
+        self.inbox: Store = host.env.make_store()
         self.peer: Optional["UnixChannelEnd"] = None
         self.closed = False
 

@@ -1,0 +1,111 @@
+"""Measurement harness for the benchmark suite.
+
+This module is the *only* place in ``repro.perf`` that touches the wall
+clock or process statistics; scenario code is pure simulation and is
+linted to stay that way.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Measurement", "BenchResult", "measure", "peak_rss_kb"]
+
+
+def peak_rss_kb() -> int:
+    """Lifetime peak resident set size of this process, in KiB.
+
+    ``ru_maxrss`` is a high-water mark, so per-benchmark values are
+    monotonically non-decreasing across a suite run; they bound memory
+    use rather than attribute it.
+    """
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+@dataclass
+class Measurement:
+    """One timed run of one scenario on one kernel."""
+
+    wall_s: float
+    ops: int
+    events: int
+    peak_rss_kb: int
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.ops / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def to_json(self) -> dict:
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "ops": self.ops,
+            "events": self.events,
+            "ops_per_s": round(self.ops_per_s, 1),
+            "events_per_s": round(self.events_per_s, 1),
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+
+
+@dataclass
+class BenchResult:
+    """A scenario's results: the optimized run and (optionally) the
+    frozen-reference run it is compared against."""
+
+    name: str
+    kind: str
+    kernel_sensitive: bool
+    opt: Measurement
+    ref: Optional[Measurement] = None
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Reference wall time over optimized wall time (higher = faster)."""
+        if self.ref is None or self.opt.wall_s <= 0:
+            return None
+        return self.ref.wall_s / self.opt.wall_s
+
+    def to_json(self) -> dict:
+        out = {
+            "name": self.name,
+            "kind": self.kind,
+            "kernel_sensitive": self.kernel_sensitive,
+            "opt": self.opt.to_json(),
+        }
+        if self.ref is not None:
+            out["ref"] = self.ref.to_json()
+            out["speedup"] = round(self.speedup, 3)
+        if self.notes:
+            out["notes"] = self.notes
+        return out
+
+
+def measure(fn: Callable[[], dict], repeat: int = 1) -> Measurement:
+    """Time ``fn`` and collect its reported stats.
+
+    ``fn`` returns ``{"ops": int, "events": int}``.  With ``repeat`` > 1
+    the best (minimum) wall time of the repeats is kept — standard
+    practice for noise-prone micro-benchmarks — while ops/events come
+    from the last run (identical across repeats by determinism).
+    """
+    best: Optional[float] = None
+    stats: dict = {}
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        stats = fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return Measurement(
+        wall_s=best or 0.0,
+        ops=int(stats.get("ops", 0)),
+        events=int(stats.get("events", 0)),
+        peak_rss_kb=peak_rss_kb(),
+    )

@@ -1,0 +1,250 @@
+"""Benchmark scenarios: deterministic simulation workloads.
+
+Every scenario is a pure function of ``(env_factory, scale)``: it
+builds a simulation against the given kernel's environment factory,
+runs it, and returns ``{"ops": int, "events": int}``.  There is no
+wall-clock access and no ``random`` usage here — timing lives in
+:mod:`repro.perf.harness`, randomness in the seeded simulation streams
+— so a scenario replays identically on both kernels, which is what
+makes the opt/ref speedup (and the event-count cross-check) meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Scenario", "MICRO_SCENARIOS", "MACRO_SCENARIOS"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One benchmark: a builder plus its scale presets."""
+
+    name: str
+    kind: str  # "micro" | "macro"
+    fn: Callable[[Callable, float], dict]
+    #: Whether the scenario exercises the simulation kernel (and should
+    #: therefore also run on the frozen reference kernel for a speedup).
+    kernel_sensitive: bool = True
+    full_scale: float = 1.0
+    quick_scale: float = 0.2
+    repeat: int = 1
+
+
+# -- micro: kernel event churn ----------------------------------------------
+
+def event_churn(env_factory: Callable, scale: float) -> dict:
+    """Create/succeed/await events as fast as the kernel allows.
+
+    This is the pure event-dispatch hot path: no timeouts, no stores —
+    each iteration allocates an event, triggers it, and parks the
+    process on it until the callback fires.  The concurrency (500
+    processes in flight) matches the in-flight actor count of a real
+    deployment run: clients, sockets and timers all coexist, which is
+    exactly the regime where same-time dispatch dominates.
+    """
+    env = env_factory()
+    procs = 500
+    iters = int(400 * scale)
+
+    def churn(count: int):
+        for _ in range(count):
+            event = env.event()
+            event.succeed()
+            yield event
+
+    for _ in range(procs):
+        env.process(churn(iters))
+    env.run()
+    return {"ops": procs * iters, "events": env._eid}
+
+
+def timeout_storm(env_factory: Callable, scale: float) -> dict:
+    """Interleaved timers with deterministic, non-monotonic delays.
+
+    The varied delays make sure both heap paths are exercised: in-order
+    pushes take the monotonic append fast path, out-of-order pushes fall
+    back to a real heap sift.
+    """
+    env = env_factory()
+    procs = 40
+    iters = int(2500 * scale)
+
+    def storm(k: int, count: int):
+        for i in range(count):
+            yield env.timeout(((k * 31 + i * 7) % 97) / 1000.0)
+
+    for k in range(procs):
+        env.process(storm(k, iters))
+    env.run()
+    return {"ops": procs * iters, "events": env._eid}
+
+
+def counter_inc(env_factory: Callable, scale: float) -> dict:
+    """Metrics-layer hot path: tagged increments and bound handles.
+
+    Kernel-insensitive (no simulation runs), so it reports ops/sec for
+    the live implementation only.
+    """
+    from ..metrics.counters import CounterSet
+
+    counters = CounterSet(prefix="bench.")
+    bound = counters.bound("rps")
+    n = int(150_000 * scale)
+    for _ in range(n):
+        counters.inc("http_status", tag="200")
+        bound.inc()
+    assert counters.get("rps") == n
+    return {"ops": 2 * n, "events": 0}
+
+
+def reuseport_dispatch(env_factory: Callable, scale: float) -> dict:
+    """UDP datagrams hashed across a SO_REUSEPORT ring (paper §4.1).
+
+    Exercises the netsim packet path end to end: sendto → network
+    delay → ring pick → socket inbox store → receiver process wakeup.
+    """
+    from ..metrics import MetricsRegistry
+    from ..netsim import Endpoint, Host, LinkProfile, Network
+    from ..simkernel.rng import RandomStreams
+
+    env = env_factory()
+    streams = RandomStreams(7)
+    metrics = MetricsRegistry()
+    network = Network(env, streams,
+                      default_profile=LinkProfile(latency=0.001))
+    server = Host(env, network, "bench-srv", "10.9.0.1", "dc", metrics,
+                  streams=streams.fork("srv"))
+    client = Host(env, network, "bench-cli", "10.9.0.2", "dc", metrics,
+                  streams=streams.fork("cli"))
+    sproc, cproc = server.spawn("s"), client.spawn("c")
+    endpoint = Endpoint(server.ip, 443)
+    socks = []
+    for _ in range(4):
+        _, sock = server.kernel.udp_bind(sproc, endpoint, reuseport=True)
+        socks.append(sock)
+
+    n = int(4000 * scale)
+    received = [0]
+
+    def serve(sock):
+        while True:
+            yield sock.recv()
+            received[0] += 1
+
+    for sock in socks:
+        sproc.run(serve(sock))
+
+    def send_all():
+        _, csock = client.kernel.udp_bind_ephemeral(cproc)
+        for i in range(n):
+            csock.sendto(i, endpoint)
+            yield env.timeout(0.0005)
+
+    cproc.run(send_all())
+    env.run(until=n * 0.0005 + 1.0)
+    return {"ops": received[0], "events": env._eid}
+
+
+# -- macro: scaled-up figure experiments -------------------------------------
+
+def _macro_deployment(env_factory: Callable, *, edge_proxies: int,
+                      web_clients: int, mqtt_users: int,
+                      think_time: float, mqtt_publish: float,
+                      drain: float, seed: int = 0):
+    """A fig-experiment-shaped deployment on an explicit kernel.
+
+    Built directly (not via ``experiments.common.build_deployment``) so
+    the benchmark measures the simulation itself, without the invariant
+    suite's tap overhead.
+    """
+    from ..clients.mqtt import MqttWorkloadConfig
+    from ..clients.web import WebWorkloadConfig
+    from ..cluster.deployment import Deployment
+    from ..cluster.spec import DeploymentSpec
+    from ..proxygen.config import ProxygenConfig
+
+    spec = DeploymentSpec(
+        seed=seed,
+        edge_proxies=edge_proxies,
+        origin_proxies=3,
+        app_servers=4,
+        web_client_hosts=1,
+        mqtt_client_hosts=1,
+        quic_client_hosts=0,
+        edge_config=ProxygenConfig(mode="edge", drain_duration=drain,
+                                   enable_takeover=True, enable_dcr=True,
+                                   spawn_delay=2.0),
+        web_workload=WebWorkloadConfig(clients_per_host=web_clients,
+                                       think_time=think_time),
+        mqtt_workload=MqttWorkloadConfig(users_per_host=mqtt_users,
+                                         publish_interval=mqtt_publish),
+        quic_workload=None)
+    deployment = Deployment(spec, env=env_factory())
+    deployment.start()
+    return deployment
+
+
+def fig13_timeline(env_factory: Callable, scale: float) -> dict:
+    """Figure 13's ZDR timeline at 10× client scale (at ``scale=1.0``).
+
+    The figure experiment runs 40 web clients and 40 MQTT users; the
+    benchmark runs 400 of each against the same 10-proxy edge cluster,
+    restarts a 20% batch with ZDR mid-run, and reports simulated events
+    per wall second.
+    """
+    from ..release.orchestrator import RollingRelease, RollingReleaseConfig
+
+    clients = max(1, int(400 * scale))
+    deployment = _macro_deployment(
+        env_factory, edge_proxies=10, web_clients=clients,
+        mqtt_users=clients, think_time=0.8, mqtt_publish=4.0, drain=15.0)
+    warmup, measure = 25.0, 40.0
+    deployment.run(until=warmup)
+    batch = max(1, int(len(deployment.edge_servers) * 0.2))
+    release = RollingRelease(deployment.env,
+                             deployment.edge_servers[:batch],
+                             RollingReleaseConfig(batch_fraction=1.0))
+    deployment.env.process(release.execute())
+    deployment.run(until=warmup + measure)
+    events = deployment.env._eid
+    return {"ops": events, "events": events}
+
+
+def fig08_capacity(env_factory: Callable, scale: float) -> dict:
+    """Figure 8's capacity-during-drain arm at 10× client scale.
+
+    A rolling ZDR over the whole edge cluster in 20% batches while the
+    full workload runs — the heaviest sustained load in the figure
+    suite.
+    """
+    from ..release.orchestrator import RollingRelease, RollingReleaseConfig
+
+    clients = max(1, int(400 * scale))
+    deployment = _macro_deployment(
+        env_factory, edge_proxies=10, web_clients=clients,
+        mqtt_users=max(1, int(250 * scale)), think_time=0.8,
+        mqtt_publish=4.0, drain=12.0)
+    warmup, measure = 20.0, 30.0
+    deployment.run(until=warmup)
+    release = RollingRelease(deployment.env, deployment.edge_servers,
+                             RollingReleaseConfig(batch_fraction=0.2))
+    deployment.env.process(release.execute())
+    deployment.run(until=warmup + measure)
+    events = deployment.env._eid
+    return {"ops": events, "events": events}
+
+
+MICRO_SCENARIOS: list[Scenario] = [
+    Scenario("event_churn", "micro", event_churn, repeat=3),
+    Scenario("timeout_storm", "micro", timeout_storm, repeat=3),
+    Scenario("counter_inc", "micro", counter_inc,
+             kernel_sensitive=False, repeat=3),
+    Scenario("reuseport_dispatch", "micro", reuseport_dispatch, repeat=2),
+]
+
+MACRO_SCENARIOS: list[Scenario] = [
+    Scenario("fig13_timeline", "macro", fig13_timeline, quick_scale=0.1),
+    Scenario("fig08_capacity", "macro", fig08_capacity, quick_scale=0.1),
+]

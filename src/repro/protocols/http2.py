@@ -62,7 +62,7 @@ class H2Stream:
     def __init__(self, conn: "H2Connection", stream_id: int):
         self.conn = conn
         self.id = stream_id
-        self.inbox: Store = Store(conn.env)
+        self.inbox: Store = conn.env.make_store()
         self.local_closed = False
         self.remote_closed = False
         self.reset = False
@@ -119,7 +119,7 @@ class H2Connection:
         self.role = role
         self.streams: dict[int, H2Stream] = {}
         #: New streams opened by the peer, awaiting accept_stream().
-        self.incoming: Store = Store(self.env)
+        self.incoming: Store = self.env.make_store()
         self._next_stream_id = 1 if role == "client" else 2
         self.goaway_sent = False
         self.goaway_received = False

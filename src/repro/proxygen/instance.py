@@ -75,6 +75,9 @@ class ProxygenInstance:
         self.process.memory_per_connection = self.config.memory_per_connection
         #: Traffic counters are continuous across generations.
         self.counters = server.counters
+        # Bound handles for the per-request hot path.
+        self._c_rps = self.counters.bound("rps")
+        self._c_tls = self.counters.bound("tls_handshakes")
         self.state = self.STATE_STARTING
         self.exited_event = self.host.env.event()
         #: Sim time the drain began (None while not draining) — lets the
@@ -317,7 +320,7 @@ class ProxygenInstance:
             if isinstance(payload, TlsClientHello):
                 yield from server_handle_hello(
                     payload, conn, self.host.cpu, costs)
-                self.counters.inc("tls_handshakes")
+                self._c_tls.inc()
             elif isinstance(payload, HttpRequest):
                 yield from self._edge_http(conn, payload)
             elif isinstance(payload, MqttConnect):
@@ -348,7 +351,7 @@ class ProxygenInstance:
     def _edge_http_body(self, conn: "TcpEndpoint", request: HttpRequest):
         env = self.host.env
         costs = self.config.costs
-        self.counters.inc("rps")
+        self._c_rps.inc()
         self.host.metrics.series(f"rps/{self.server.name}").record(env.now)
         yield from self.host.cpu.execute(costs.relay_message)
 
@@ -456,7 +459,7 @@ class ProxygenInstance:
             return
         payload = frame.payload
         if isinstance(payload, HttpRequest):
-            self.counters.inc("rps")
+            self._c_rps.inc()
             self.host.metrics.series(
                 f"rps/{self.server.name}").record(self.host.env.now)
             plane = self.resilience

@@ -1,8 +1,29 @@
-"""The simulation :class:`Environment`: clock, event queue, run loop."""
+"""The simulation :class:`Environment`: clock, event queue, run loop.
+
+Hot-path layout (see also :mod:`repro.simkernel.events`): the scheduler
+is *two-lane* — events triggered at the current simulation time live in
+plain FIFO deques (one per priority) and never touch the heap, while
+future events go through a binary heap with a monotonic append fast
+path.  The run loop inlines :meth:`Environment.step` so a
+multi-million-event run pays one Python frame per *run*, not per event,
+and dispatch short-circuits the overwhelmingly common single-callback
+case.
+
+Pop order is the strict ``(time, priority, event id)`` order of the
+classic single-heap design: for any time ``t``, heap entries at ``t``
+were pushed while ``now < t`` and therefore carry smaller event ids
+than every deque entry at ``t`` (pushed while ``now == t``), so
+draining same-time heap entries before the same-priority deque — and
+the URGENT lane before the NORMAL lane — reproduces heap order exactly.
+The pre-optimization implementation is frozen in
+:mod:`repro.simkernel.reference` and the differential tests in
+``tests/perf/`` prove the two are bit-identical.
+"""
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop
 from typing import Any, Generator, Optional
 
 from .events import (
@@ -13,6 +34,7 @@ from .events import (
     Process,
     SimulationError,
     Timeout,
+    _push,
 )
 
 __all__ = ["Environment", "EmptySchedule", "StopSimulation"]
@@ -37,9 +59,18 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
+        #: Future events only: a heap of ``(time, priority, eid, event)``.
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: Same-time lanes: URGENT and NORMAL events at ``self._now``.
+        self._urgent: deque[Event] = deque()
+        self._ready: deque[Event] = deque()
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Largest ``(time, priority)`` key ever heap-pushed; entries
+        #: sorting at-or-after it may be appended without a heap sift
+        #: (event ids are strictly increasing, so such entries sort
+        #: after every live heap entry).
+        self._maxkey: tuple[float, int] = (float("-inf"), -1)
 
     # -- clock -----------------------------------------------------------
 
@@ -81,23 +112,49 @@ class Environment:
         """Schedule ``event`` to be processed after ``delay``."""
         if delay < 0:
             raise ValueError(f"Negative delay {delay}")
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        _push(self, event, priority, self._now + delay)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._urgent or self._ready:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
+
+    def _pop(self) -> Event:
+        """Remove and return the next event in (time, priority, id) order.
+
+        Advances the clock when the next event comes from the future
+        heap.  Raises :class:`EmptySchedule` when nothing is left.
+        """
+        queue = self._queue
+        urgent = self._urgent
+        if queue:
+            entry = queue[0]
+            if entry[0] == self._now and (entry[1] == 0 or not urgent):
+                # Same-time heap entries precede their lane's deque
+                # (smaller event ids), and an URGENT heap entry beats
+                # the NORMAL lanes outright.
+                return heappop(queue)[3]
+        if urgent:
+            return urgent.popleft()
+        ready = self._ready
+        if ready:
+            return ready.popleft()
+        if queue:
+            self._now, _, _, event = heappop(queue)
+            return event
+        raise EmptySchedule()
 
     def step(self) -> None:
         """Process the single next event."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
-
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        event = self._pop()
+        callbacks = event.callbacks
+        event.callbacks = None
+        if len(callbacks) == 1:
+            callbacks[0](event)
+        else:
+            for callback in callbacks:
+                callback(event)
 
         if not event._ok and not event._defused:
             value = event._value
@@ -115,10 +172,13 @@ class Environment:
         that event is processed, returning its value).
         """
         stop_at: Optional[float] = None
-        stop_event: Optional[Event] = None
+        stop_event = None
 
         if until is not None:
-            if isinstance(until, Event):
+            # ``callbacks`` identifies an event from either kernel
+            # hierarchy (the frozen reference kernel's events must be
+            # awaitable too); anything else is a time.
+            if isinstance(until, Event) or hasattr(until, "callbacks"):
                 stop_event = until
                 if stop_event.callbacks is None:
                     return stop_event.value
@@ -129,17 +189,46 @@ class Environment:
                     raise ValueError(
                         f"until ({stop_at}) must be greater than now ({self._now})")
 
+        # The inlined step loop.  Semantics are identical to calling
+        # :meth:`step` until ``EmptySchedule``/``stop_at`` (the frozen
+        # reference run loop); the pop logic of :meth:`_pop` and the
+        # dispatch are simply unrolled here so each event costs zero
+        # extra Python frames.
+        queue = self._queue
+        urgent = self._urgent
+        ready = self._ready
+        pop = heappop
         try:
             while True:
-                if stop_at is not None and self.peek() > stop_at:
-                    self._now = stop_at
-                    break
-                try:
-                    self.step()
-                except EmptySchedule:
+                if queue and queue[0][0] == self._now and (
+                        queue[0][1] == 0 or not urgent):
+                    event = pop(queue)[3]
+                elif urgent:
+                    event = urgent.popleft()
+                elif ready:
+                    event = ready.popleft()
+                elif queue:
+                    if stop_at is not None and queue[0][0] > stop_at:
+                        self._now = stop_at
+                        break
+                    self._now, _, _, event = pop(queue)
+                else:
                     if stop_at is not None:
                         self._now = stop_at
                     break
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    value = event._value
+                    if isinstance(value, BaseException):
+                        raise value
+                    raise SimulationError(
+                        f"Event failed with non-exception: {value!r}")
         except StopSimulation as stop:
             event = stop.args[0]
             if not event._ok:

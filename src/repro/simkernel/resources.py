@@ -8,6 +8,21 @@ These cover all the coordination patterns the network simulation needs:
   matching a predicate (e.g. a specific connection's packets).
 * :class:`Resource` — a counted resource with FIFO waiters (CPU cores).
 * :class:`Container` — a continuous quantity (memory bytes).
+
+Fast path
+---------
+Store and resource events are created once per packet/request, so the
+constructors here take the uncontended path inline: when no other
+operation is queued, a ``put``/``get``/``request`` resolves immediately
+without round-tripping through the trigger scan.  The succeed *ordering*
+is exactly what the scan would have produced (the fast-path guards are
+precisely the conditions under which the scan would resolve only this
+event), so runs are bit-identical to the frozen reference kernel in
+:mod:`repro.simkernel.reference` — see ``tests/perf/test_differential.py``.
+
+Construct these through the :class:`~repro.simkernel.core.Environment`
+factory methods (``env.make_store()`` etc.) so that a simulation driven
+by the reference environment gets the matching frozen implementations.
 """
 
 from __future__ import annotations
@@ -15,7 +30,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from .core import Environment
-from .events import Event, SimulationError
+from .events import NORMAL, PENDING, Event, _push
 
 __all__ = ["Store", "FilterStore", "Resource", "Container", "StorePutEvent",
            "StoreGetEvent", "ResourceRequest"]
@@ -24,25 +39,70 @@ __all__ = ["Store", "FilterStore", "Resource", "Container", "StorePutEvent",
 class StorePutEvent(Event):
     """Event returned by :meth:`Store.put`; succeeds when the item is stored."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
-        super().__init__(store.env)
+        env = store.env
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.item = item
-        store._put_queue.append(self)
-        store._trigger()
+        items = store.items
+        if not store._put_queue and not store._get_queue and len(items) < store.capacity:
+            # Uncontended: the trigger scan would admit exactly this put.
+            items.append(item)
+            self._ok = True
+            self._value = None
+            _push(env, self, NORMAL, env._now)
+        else:
+            self._ok = None
+            self._value = PENDING
+            store._put_queue.append(self)
+            store._trigger()
 
 
 class StoreGetEvent(Event):
     """Event returned by :meth:`Store.get`; succeeds with the item."""
 
+    __slots__ = ("filter_fn", "_cancelled")
+
     def __init__(self, store: "Store", filter_fn: Optional[Callable[[Any], bool]] = None):
-        super().__init__(store.env)
+        env = store.env
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.filter_fn = filter_fn
+        self._cancelled = False
+        if not store._get_queue and not store._put_queue:
+            # Uncontended: serve a matching item immediately if present.
+            items = store.items
+            if filter_fn is None:
+                if items:
+                    self._ok = True
+                    self._value = items.pop(0)
+                    _push(env, self, NORMAL, env._now)
+                    return
+            else:
+                for i, item in enumerate(items):
+                    if filter_fn(item):
+                        self._ok = True
+                        self._value = items.pop(i)
+                        _push(env, self, NORMAL, env._now)
+                        return
+            # No match and both queues empty: the trigger scan would be
+            # a no-op, so just park.
+            self._ok = None
+            self._value = PENDING
+            store._get_queue.append(self)
+            return
+        self._ok = None
+        self._value = PENDING
         store._get_queue.append(self)
         store._trigger()
 
     def cancel(self) -> None:
         """Withdraw this get request if it has not yet been fulfilled."""
-        if not self.triggered:
+        if self._value is PENDING:
             self._cancelled = True
 
 
@@ -93,29 +153,41 @@ class Store:
         return None
 
     def _trigger(self) -> None:
+        items = self.items
+        capacity = self.capacity
         progressed = True
         while progressed:
             progressed = False
             # Admit pending puts while there is room.
-            while self._put_queue and len(self.items) < self.capacity:
-                put_event = self._put_queue.pop(0)
-                self.items.append(put_event.item)
+            put_queue = self._put_queue
+            while put_queue and len(items) < capacity:
+                put_event = put_queue.pop(0)
+                items.append(put_event.item)
                 put_event.succeed()
                 progressed = True
             # Serve pending gets that have a matching item.
-            remaining: list[StoreGetEvent] = []
-            for get_event in self._get_queue:
-                if getattr(get_event, "_cancelled", False):
-                    progressed = True
-                    continue
-                idx = self._match(get_event)
-                if idx is None:
-                    remaining.append(get_event)
-                else:
-                    item = self.items.pop(idx)
-                    get_event.succeed(item)
-                    progressed = True
-            self._get_queue = remaining
+            get_queue = self._get_queue
+            if get_queue:
+                remaining: list[StoreGetEvent] = []
+                for get_event in get_queue:
+                    if get_event._cancelled:
+                        progressed = True
+                        continue
+                    filter_fn = get_event.filter_fn
+                    if filter_fn is None:
+                        idx = 0 if items else None
+                    else:
+                        idx = None
+                        for i, item in enumerate(items):
+                            if filter_fn(item):
+                                idx = i
+                                break
+                    if idx is None:
+                        remaining.append(get_event)
+                    else:
+                        get_event.succeed(items.pop(idx))
+                        progressed = True
+                self._get_queue = remaining
 
 
 class FilterStore(Store):
@@ -135,12 +207,27 @@ class ResourceRequest(Event):
             yield env.timeout(work)
     """
 
+    __slots__ = ("resource", "_released")
+
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        env = resource.env
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.resource = resource
         self._released = False
-        resource._queue.append(self)
-        resource._trigger()
+        users = resource.users
+        if not resource._queue and len(users) < resource.capacity:
+            # Uncontended: the grant loop would serve exactly this request.
+            users.append(self)
+            self._ok = True
+            self._value = None
+            _push(env, self, NORMAL, env._now)
+        else:
+            self._ok = None
+            self._value = PENDING
+            resource._queue.append(self)
+            resource._trigger()
 
     def release(self) -> None:
         """Release the unit held (or withdraw the pending request)."""
@@ -189,9 +276,12 @@ class Resource:
         self._trigger()
 
     def _trigger(self) -> None:
-        while self._queue and len(self.users) < self.capacity:
-            request = self._queue.pop(0)
-            self.users.append(request)
+        queue = self._queue
+        users = self.users
+        capacity = self.capacity
+        while queue and len(users) < capacity:
+            request = queue.pop(0)
+            users.append(request)
             request.succeed()
 
 
@@ -251,3 +341,39 @@ class Container:
                     self._level -= amount
                     event.succeed(amount)
                     progressed = True
+
+
+# -- Environment factory methods -------------------------------------------
+#
+# Attached here (rather than defined on Environment) to avoid a circular
+# import; ``repro.simkernel.__init__`` imports this module, so the
+# factories exist whenever the package is in use.  The frozen reference
+# environment defines its own factories returning the frozen resource
+# classes, which is how differential runs swap the *entire* kernel —
+# events, run loop, and resource machinery — in one place.
+
+def _make_store(self: Environment, capacity: float = float("inf")) -> Store:
+    """A :class:`Store` bound to this environment's kernel."""
+    return Store(self, capacity)
+
+
+def _make_filter_store(self: Environment, capacity: float = float("inf")) -> FilterStore:
+    """A :class:`FilterStore` bound to this environment's kernel."""
+    return FilterStore(self, capacity)
+
+
+def _make_resource(self: Environment, capacity: int = 1) -> Resource:
+    """A :class:`Resource` bound to this environment's kernel."""
+    return Resource(self, capacity)
+
+
+def _make_container(self: Environment, capacity: float = float("inf"),
+                    init: float = 0.0) -> Container:
+    """A :class:`Container` bound to this environment's kernel."""
+    return Container(self, capacity, init)
+
+
+Environment.make_store = _make_store  # type: ignore[attr-defined]
+Environment.make_filter_store = _make_filter_store  # type: ignore[attr-defined]
+Environment.make_resource = _make_resource  # type: ignore[attr-defined]
+Environment.make_container = _make_container  # type: ignore[attr-defined]

@@ -50,3 +50,55 @@ def test_counterset_merged():
     b.inc("timeouts")
     merged = a.merged([b])
     assert merged == {"errors": 5.0, "timeouts": 1.0}
+
+
+def test_get_missing_allocates_nothing():
+    """``get`` on a never-incremented counter returns 0.0 without
+    creating the counter (the old implementation allocated a throwaway
+    Counter per miss — a leak under per-request cardinality)."""
+    counters = CounterSet()
+    assert counters.get("never", tag="seen") == 0.0
+    assert counters.snapshot() == {}
+    assert counters._by_pair == {}
+    # And the result type is a float, not an int or Counter.
+    assert isinstance(counters.get("never"), float)
+
+
+def test_bound_handle_is_the_live_counter():
+    counters = CounterSet()
+    bound = counters.bound("rps")
+    bound.inc()
+    counters.inc("rps", 2)
+    assert counters.get("rps") == 3.0
+    assert bound.value == 3.0
+    # Same pair → the very same object, not a per-call wrapper.
+    assert counters.bound("rps") is bound
+    assert counters.counter("rps") is bound
+
+
+def test_tag_key_collision_aliases_one_counter():
+    """Pinned flattening caveat: keys are ``prefix + name[:tag]``, so
+    ``("a", tag="b:c")`` and ``("a:b", tag="c")`` (and the untagged
+    ``"a:b:c"``) all alias the *same* counter."""
+    counters = CounterSet()
+    counters.inc("a", tag="b:c")
+    counters.inc("a:b", tag="c")
+    counters.inc("a:b:c")
+    assert counters.snapshot() == {"a:b:c": 3.0}
+    assert counters.get("a", tag="b:c") == 3.0
+    assert counters.get("a:b", tag="c") == 3.0
+    assert counters.get("a:b:c") == 3.0
+    # The pair cache keeps distinct (name, tag) entries but they share
+    # one underlying Counter object.
+    assert (counters.counter("a", tag="b:c")
+            is counters.counter("a:b", tag="c"))
+
+
+def test_pair_cache_does_not_bypass_validation():
+    """The cached-pair fast path in ``inc`` must still reject negative
+    amounts, same as the slow path."""
+    counters = CounterSet()
+    counters.inc("rps")  # populate the pair cache
+    with pytest.raises(ValueError):
+        counters.inc("rps", amount=-1)
+    assert counters.get("rps") == 1.0
