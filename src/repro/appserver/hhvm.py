@@ -48,6 +48,8 @@ class InFlightPost:
         self.received_bytes = 0
         self.received_chunks = 0
         self.complete = False
+        #: Trace span covering the receive (set when tracing is enabled).
+        self.span = None
 
 
 class AppServer:
@@ -199,6 +201,10 @@ class AppServer:
         post.conn.close()
         self._c_status_379.inc()
         self._c_ppr_bytes.inc(post.received_bytes)
+        if post.span is not None:
+            post.span.annotate("ppr.echo_bytes", post.received_bytes)
+            post.span.collector.keep(post.span)
+            post.span.finish("ppr_379")
 
     def _reply_error(self, post: InFlightPost) -> None:
         response = HttpResponse(
@@ -207,6 +213,8 @@ class AppServer:
         post.conn.send(response, size=200)
         post.conn.close()
         self.counters.inc("http_status", tag="500")
+        if post.span is not None:
+            post.span.fail("500_no_ppr")
 
     # -- serving ------------------------------------------------------------
 
@@ -245,6 +253,24 @@ class AppServer:
         self.counters.inc("http_status", tag="503")
         return True
 
+    def _request_span(self, request: HttpRequest, name: str):
+        """Child span under the proxy's hop span.
+
+        The server is constructed before tracing is installed, so the
+        tracer is read per request (one attribute lookup when disabled).
+        ``request.trace`` is *not* re-pointed: the same request object is
+        re-sent on a PPR replay, and the origin proxy still owns its
+        reference.
+        """
+        tracer = self.host.metrics.tracing
+        if tracer is None or request.trace is None:
+            return None
+        span = tracer.span(request.trace, name, scope=self.name)
+        span.annotate("generation", self.generation)
+        if self.state == self.STATE_DRAINING:
+            span.annotate("draining", self.name)
+        return span
+
     def _serve_short_request(self, conn: TcpEndpoint, request: HttpRequest):
         if self._shed(conn, request):
             return
@@ -255,11 +281,14 @@ class AppServer:
                 self.admission.release()
 
     def _short_request_body(self, conn: TcpEndpoint, request: HttpRequest):
+        span = self._request_span(request, "app.request")
         costs = self.config.costs
         yield from self.host.cpu.execute(costs.http_request)
         yield self.host.env.timeout(
             self._rng.expovariate(1.0 / self.config.service_time_mean))
         if not conn.alive:
+            if span is not None:
+                span.fail("conn_gone")
             return
         if (self.fault_truncate_fraction > 0
                 and self._rng.random() < self.fault_truncate_fraction):
@@ -268,6 +297,8 @@ class AppServer:
             # reply, and must fail over to another server.
             self.counters.inc("responses_truncated")
             conn.abort(reason="truncated_body")
+            if span is not None:
+                span.fail("truncated")
             return
         rogue = self.effective_rogue_fraction
         if rogue > 0 and self._rng.random() < rogue:
@@ -279,11 +310,15 @@ class AppServer:
             conn.send(HttpResponse(status, request_id=request.id,
                                    status_message="garbage"), size=600)
             self.counters.inc("http_status", tag="rogue")
+            if span is not None:
+                span.fail("rogue_status")
             return
         conn.send(HttpResponse(STATUS_OK, request_id=request.id),
                   size=600)
         self._c_status_200.inc()
         self._c_served.inc()
+        if span is not None:
+            span.finish("ok")
 
     def _serve_streaming_post(self, conn: TcpEndpoint, request: HttpRequest):
         """Receive body chunks until done (or until a restart interrupts)."""
@@ -297,6 +332,7 @@ class AppServer:
 
     def _streaming_post_body(self, conn: TcpEndpoint, request: HttpRequest):
         post = InFlightPost(request, conn)
+        post.span = self._request_span(request, "app.post")
         self.in_flight_posts[request.id] = post
         costs = self.config.costs
         while True:
@@ -304,6 +340,8 @@ class AppServer:
             if isinstance(item, StreamControl):
                 # Proxy/connection went away mid-upload.
                 self.in_flight_posts.pop(request.id, None)
+                if post.span is not None:
+                    post.span.fail("conn_gone")
                 return
             chunk = item.payload
             if not isinstance(chunk, BodyChunk):
@@ -325,6 +363,8 @@ class AppServer:
                            request_id=request.id)
         yield from self.host.cpu.execute(costs.http_request)
         if not conn.alive:
+            if post.span is not None:
+                post.span.fail("conn_gone")
             return
         if post.received_bytes < request.body_size:
             # A replay that lost part of the body (a proxy-side PPR bug)
@@ -334,6 +374,8 @@ class AppServer:
                       size=200)
             self.counters.inc("http_status", tag="400")
             self.counters.inc("posts_incomplete")
+            if post.span is not None:
+                post.span.fail("incomplete_body")
             return
         rogue = self.effective_rogue_fraction
         if rogue > 0 and self._rng.random() < rogue:
@@ -343,8 +385,12 @@ class AppServer:
                                    request_id=request.id,
                                    status_message="garbage"), size=600)
             self.counters.inc("http_status", tag="rogue")
+            if post.span is not None:
+                post.span.fail("rogue_status")
             return
         conn.send(HttpResponse(STATUS_OK, request_id=request.id),
                   size=600)
         self._c_status_200.inc()
         self._c_posts_completed.inc()
+        if post.span is not None:
+            post.span.finish("ok")

@@ -62,4 +62,7 @@ class ClientBase:
                 attempt.callbacks.append(
                     lambda ev: ev._value.close() if ev._ok else None)
             return None
+        # Remember the L4LB pick so request traces can annotate which
+        # backend Katran hashed this flow to.
+        outcome.app_state["l4lb_backend"] = backend_ip
         return outcome

@@ -83,8 +83,16 @@ class MqttClientPopulation:
         env = base.host.env
         config = self.config
         while process.alive:
-            conn = yield from self._connect(base, process, user_id)
+            tracer = self.metrics.tracing
+            span = None
+            if tracer is not None:
+                span = tracer.start_trace("client.mqtt", scope=self.name)
+                span.annotate("user", user_id)
+            conn = yield from self._connect(base, process, user_id,
+                                            span=span)
             if conn is None:
+                if span is not None:
+                    span.fail("connect_failed")
                 yield env.timeout(sampler.uniform(
                     config.reconnect_backoff_min,
                     config.reconnect_backoff_max))
@@ -98,18 +106,29 @@ class MqttClientPopulation:
                 self.counters.inc("proactive_reconnects")
                 self.metrics.series("mqtt/proactive_reconnects").record(
                     env.now)
+                if span is not None:
+                    span.annotate("dcr.client_solicited")
+                    tracer.keep(span)
+                    span.finish("solicited")
                 continue
             # Session broke under us: back off, then reconnect.
             self.counters.inc("reconnects")
             self.metrics.series("mqtt/client_reconnects").record(env.now)
+            if span is not None:
+                span.fail("session_broken")
             yield env.timeout(sampler.uniform(
                 config.reconnect_backoff_min, config.reconnect_backoff_max))
 
-    def _connect(self, base: ClientBase, process: SimProcess, user_id: int):
+    def _connect(self, base: ClientBase, process: SimProcess, user_id: int,
+                 span=None):
         conn = yield from base.connect_routed(
             process, timeout=self.config.connect_timeout)
         if conn is None:
             return None
+        if span is not None:
+            backend = conn.app_state.get("l4lb_backend")
+            if backend is not None:
+                span.annotate("katran.backend", backend)
         if self.config.use_tls:
             try:
                 conn.send(TlsClientHello(), size=320)
@@ -124,7 +143,7 @@ class MqttClientPopulation:
                     conn.abort(reason="tls_failed")
                 return None
         try:
-            conn.send(MqttConnect(user_id), size=120)
+            conn.send(MqttConnect(user_id, trace=span), size=120)
         except (SocketClosedSim, ConnectionResetSim):
             return None
         outcome = yield from with_timeout(

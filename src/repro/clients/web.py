@@ -149,16 +149,20 @@ class WebClientPopulation:
         request = HttpRequest(
             "GET", "/api/feed",
             headers={"cacheable": "1"} if cacheable else {})
+        span = self._start_request_trace(conn, request, kind="get")
         start = base.host.env.now
         self.counters.inc("get_started")
         try:
             conn.send(request, size=350)
         except (SocketClosedSim, ConnectionResetSim):
             self.counters.inc("request_conn_reset")
+            if span is not None:
+                span.fail("conn_reset")
             return False
         outcome = yield from with_timeout(
             base.host.env, conn.recv(), config.request_timeout)
-        return self._digest_response(base, outcome, start, kind="get")
+        return self._digest_response(base, outcome, start, kind="get",
+                                     span=span)
 
     def _do_post(self, base: ClientBase, conn, sampler: DistributionSampler):
         """A streaming upload paced by the client's WAN bandwidth."""
@@ -168,6 +172,9 @@ class WebClientPopulation:
                                   cap=config.post_size_cap))
         request = HttpRequest("POST", "/upload", body_size=size,
                               streaming=True)
+        span = self._start_request_trace(conn, request, kind="post")
+        if span is not None:
+            span.annotate("post.bytes", size)
         env = base.host.env
         start = env.now
         self.counters.inc("posts_started")
@@ -184,7 +191,7 @@ class WebClientPopulation:
                 early = conn.inbox.try_get()
                 if early is not None:
                     verdict = self._digest_response(base, early, start,
-                                                    kind="post")
+                                                    kind="post", span=span)
                     if isinstance(verdict, float) and conn.alive:
                         # Shed mid-upload: this connection has a
                         # dangling POST stream — retire it before the
@@ -197,17 +204,35 @@ class WebClientPopulation:
         except (SocketClosedSim, ConnectionResetSim):
             self.counters.inc("post_conn_reset")
             self.metrics.series("client/post_disrupted").record(env.now)
+            if span is not None:
+                span.fail("conn_reset")
             return False
         outcome = yield from with_timeout(
             env, conn.recv(), config.request_timeout)
-        return self._digest_response(base, outcome, start, kind="post")
+        return self._digest_response(base, outcome, start, kind="post",
+                                     span=span)
+
+    def _start_request_trace(self, conn, request: HttpRequest, kind: str):
+        """Root span for one request (None when tracing is disabled —
+        a single attribute read on the hot path)."""
+        tracer = self.metrics.tracing
+        if tracer is None:
+            return None
+        span = tracer.start_trace(f"client.{kind}", scope=self.name)
+        backend = conn.app_state.get("l4lb_backend")
+        if backend is not None:
+            span.annotate("katran.backend", backend)
+        request.trace = span
+        return span
 
     def _digest_response(self, base: ClientBase, outcome, start: float,
-                         kind: str):
+                         kind: str, span=None):
         env = base.host.env
         if outcome is TIMED_OUT:
             self.counters.inc(f"{kind}_timeout")
             self.metrics.series("client/request_timeout").record(env.now)
+            if span is not None:
+                span.fail("timeout")
             return False
         item = outcome
         if isinstance(item, StreamControl):
@@ -216,6 +241,8 @@ class WebClientPopulation:
             self.counters.inc(f"{kind}_{tag}")
             if item.kind == ControlType.RST:
                 self.metrics.series("client/conn_reset").record(env.now)
+            if span is not None:
+                span.fail(tag)
             return False
         response: HttpResponse = item.payload
         self.counters.inc("http_status_seen", tag=str(response.status))
@@ -223,13 +250,22 @@ class WebClientPopulation:
                 and RETRY_AFTER_HEADER in response.headers):
             self.counters.inc(f"{kind}_shed")
             self.metrics.series("client/request_shed").record(env.now)
-            return float(response.headers[RETRY_AFTER_HEADER])
+            retry_after = float(response.headers[RETRY_AFTER_HEADER])
+            if span is not None:
+                span.annotate("shed.retry_after", retry_after)
+                span.finish("shed")
+            return retry_after
         if response.status == STATUS_OK:
             self.counters.inc(f"{kind}_ok")
             self.metrics.quantiles(f"client/{kind}_latency").add(
                 env.now - start)
             self.metrics.series("client/requests_ok").record(env.now)
+            if span is not None:
+                span.finish("ok")
             return True
         self.counters.inc(f"{kind}_error")
         self.metrics.series("client/requests_error").record(env.now)
+        if span is not None:
+            span.annotate("status", response.status)
+            span.fail(f"status_{response.status}")
         return False

@@ -26,6 +26,8 @@ from ..invariants import runtime as invariant_runtime
 from ..metrics.report import render_faults, render_series
 from ..resilience import ResilienceConfig, clear_ambient_resilience, \
     set_ambient_resilience
+from ..trace import runtime as trace_runtime
+from ..trace.render import render_trace_report
 from . import ALL_EXPERIMENTS
 
 
@@ -49,6 +51,13 @@ def main(argv=None) -> int:
                         help="enable the resilient data plane (outlier "
                              "ejection, breakers, retry budgets, load "
                              "shedding) in every deployment built")
+    parser.add_argument("--trace", action="store_true",
+                        help="trace sampled requests end to end and print "
+                             "the most interesting span trees")
+    parser.add_argument("--trace-json", metavar="PATH", default=None,
+                        help="with --trace: also write the full trace "
+                             "export as JSON to PATH (suffixed with the "
+                             "figure id when running several figures)")
     args = parser.parse_args(argv)
 
     if args.figure == "list":
@@ -71,6 +80,12 @@ def main(argv=None) -> int:
 
     if args.resilience:
         set_ambient_resilience(ResilienceConfig(enabled=True))
+
+    if args.trace:
+        trace_runtime.set_ambient_trace()
+    elif args.trace_json is not None:
+        print("--trace-json requires --trace", file=sys.stderr)
+        return 2
 
     if args.figure == "all":
         names = sorted(ALL_EXPERIMENTS)
@@ -104,6 +119,9 @@ def main(argv=None) -> int:
                 # still label the run so it can't pass as a baseline.
                 for row in render_faults({"plan": args.faults}):
                     print("   " + row)
+            if args.trace:
+                _report_traces(name, args.trace_json,
+                               multiple=len(names) > 1)
             if not args.no_plots:
                 for series_name, series in sorted(result.series.items()):
                     print("   " + render_series(series_name, series,
@@ -113,8 +131,32 @@ def main(argv=None) -> int:
     finally:
         clear_ambient_plan()
         clear_ambient_resilience()
+        trace_runtime.clear_ambient_trace()
+        trace_runtime.drain()
         invariant_runtime.drain()  # reset registry for in-process callers
     return 0 if all_ok else 1
+
+
+def _report_traces(figure: str, json_path, multiple: bool) -> None:
+    """Print the span-tree report (and dump JSON) for one figure's run."""
+    collectors = trace_runtime.drain()
+    for collector in collectors:
+        doc = collector.to_dict()
+        for row in render_trace_report(doc):
+            print("   " + row)
+        if json_path is not None:
+            path = json_path
+            if multiple or len(collectors) > 1:
+                suffix = figure if len(collectors) == 1 \
+                    else f"{figure}-{collectors.index(collector)}"
+                if "." in path.rsplit("/", 1)[-1]:
+                    stem, ext = path.rsplit(".", 1)
+                    path = f"{stem}-{suffix}.{ext}"
+                else:
+                    path = f"{path}-{suffix}"
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(collector.to_json())
+            print(f"   trace export written to {path}")
 
 
 if __name__ == "__main__":

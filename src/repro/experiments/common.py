@@ -13,6 +13,7 @@ from ..cluster.deployment import Deployment
 from ..cluster.spec import DeploymentSpec
 from ..invariants import runtime as invariant_runtime
 from ..proxygen.config import ProxygenConfig
+from ..trace import runtime as trace_runtime
 
 __all__ = ["ExperimentResult", "build_deployment", "fault_summary",
            "sum_counter", "aggregate_series", "mean"]
@@ -109,6 +110,10 @@ def build_deployment(seed: int = 0,
     # Always-on invariant checking: every harness-built deployment runs
     # under the full checker suite (drained via invariant_runtime.drain()).
     invariant_runtime.install(deployment)
+    # Request tracing (the CLI's --trace): a no-op unless an ambient
+    # TraceConfig is set — must attach before start() so the instances'
+    # bound tracer handles see the collector.
+    trace_runtime.install(deployment)
     deployment.start()
     return deployment
 

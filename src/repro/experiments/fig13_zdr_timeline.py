@@ -10,6 +10,7 @@ drain, §6.3).
 
 from __future__ import annotations
 
+from ..appserver.config import AppServerConfig
 from ..clients.mqtt import MqttWorkloadConfig
 from ..clients.web import WebWorkloadConfig
 from ..proxygen.config import ProxygenConfig
@@ -27,7 +28,17 @@ def run(seed: int = 0, edge_proxies: int = 10, drain: float = 15.0,
         edge_config=ProxygenConfig(mode="edge", drain_duration=drain,
                                    enable_takeover=True, enable_dcr=True,
                                    spawn_delay=2.0),
-        web=WebWorkloadConfig(clients_per_host=40, think_time=0.8),
+        origin_config=ProxygenConfig(mode="origin", drain_duration=8.0,
+                                     enable_takeover=True, enable_dcr=True,
+                                     spawn_delay=2.0),
+        # Short app drain + upload-heavy mix so the coda below reliably
+        # exercises PPR (long POSTs still in flight when the drain ends).
+        app_config=AppServerConfig(drain_duration=2.0,
+                                   restart_downtime=3.0),
+        web=WebWorkloadConfig(clients_per_host=40, think_time=0.8,
+                              post_fraction=0.15,
+                              post_size_min=150_000,
+                              upload_bandwidth=150_000.0),
         mqtt=MqttWorkloadConfig(users_per_host=40, publish_interval=4.0))
 
     batch = max(1, int(edge_proxies * 0.2))
@@ -60,6 +71,16 @@ def run(seed: int = 0, edge_proxies: int = 10, drain: float = 15.0,
     release = RollingRelease(dep.env, gr_servers,
                              RollingReleaseConfig(batch_fraction=1.0))
     dep.env.process(release.execute())
+    dep.run(until=warmup + drain + 3)
+    # Mechanism coda, outside the claims window ([warmup+3, warmup+drain]
+    # is what the shape checks below average over): roll one Origin proxy
+    # (tunnels re-home via DCR) and restart one app server (incomplete
+    # POSTs come back as 379 PartialPOST and get replayed), so a --trace
+    # run captures every §4 mechanism in a single timeline.
+    coda = RollingRelease(dep.env, [dep.origin_servers[0]],
+                          RollingReleaseConfig(batch_fraction=1.0))
+    dep.env.process(coda.execute())
+    dep.env.process(dep.app_servers[0].restart())
     dep.run(until=warmup + measure)
 
     def group_series(names: list[str], metric: str) -> list[tuple[float, float]]:

@@ -17,6 +17,7 @@ Exit status is 0 only when every run was violation-free.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -45,11 +46,17 @@ def _print_result(label: str, result: FuzzRunResult) -> None:
         print(f"    ... and {len(result.violations) - 5} more")
 
 
-def _write_repro(out_dir: str, scenario: Scenario, tag: str) -> str:
+def _write_repro(out_dir: str, scenario: Scenario, tag: str,
+                 trace=None) -> str:
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"repro-{tag}.json")
+    doc = scenario.to_dict()
+    if trace is not None:
+        # The violating run's tail-kept traces, embedded so the repro
+        # file documents *which requests* broke, not just how to rerun.
+        doc["trace"] = trace
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(scenario.to_json() + "\n")
+        handle.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return path
 
 
@@ -122,6 +129,7 @@ def main(argv=None) -> int:
             continue
         failures += 1
         emitted = scenario
+        trace = result.trace
         if not args.no_shrink:
             shrunk = shrink(scenario,
                             target_checkers=result.violated_checkers(),
@@ -129,7 +137,11 @@ def main(argv=None) -> int:
             emitted = shrunk.scenario
             print(f"    shrunk in {shrunk.runs} probe runs: "
                   f"[{emitted.describe()}]")
-        path = _write_repro(args.out, emitted, f"seed-{seed}")
+            if emitted is not scenario:
+                # The embedded trace must match the scenario the file
+                # replays, so re-run the shrunken one to capture it.
+                trace = run_scenario(emitted, checkers=checkers).trace
+        path = _write_repro(args.out, emitted, f"seed-{seed}", trace=trace)
         print(f"    repro written: {path}")
 
     total = args.runs

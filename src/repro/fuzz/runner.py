@@ -22,6 +22,8 @@ from ..cluster.spec import DeploymentSpec
 from ..invariants import InvariantSuite, InvariantViolation, make_checkers
 from ..proxygen.config import ProxygenConfig
 from ..release.orchestrator import RollingRelease, RollingReleaseConfig
+from ..trace import TraceConfig
+from ..trace import runtime as trace_runtime
 from .planted import planted_fault
 from .scenario import Scenario
 
@@ -35,6 +37,9 @@ class FuzzRunResult:
     scenario: Scenario
     violations: list[InvariantViolation] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
+    #: Trace export (tail-kept errored/flagged requests) when the run
+    #: produced violations; ``None`` on clean runs.
+    trace: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -123,6 +128,10 @@ def run_scenario(scenario: Scenario,
         suite = InvariantSuite(deployment,
                                checkers=make_checkers(checkers))
         suite.attach()
+        # Tail-only tracing: no head sampling, keep errored/flagged
+        # requests — exactly what a repro file wants to embed.
+        collector = trace_runtime.install(
+            deployment, TraceConfig(sample_rate=0.0, keep_errors=True))
         deployment.start()
         releases: list[RollingRelease] = []
         for entry in scenario.releases:
@@ -130,6 +139,8 @@ def run_scenario(scenario: Scenario,
                 _drive_release(deployment, entry, releases))
         deployment.run(until=scenario.duration)
         violations = suite.finalize()
+        if collector is not None:
+            trace_runtime.uninstall(collector)
 
     counters = (deployment.web_clients.counters
                 if deployment.web_clients is not None else None)
@@ -150,5 +161,8 @@ def run_scenario(scenario: Scenario,
             {"kind": r.spec.kind, "state": r.state,
              "targets": list(r.targets)}
             for r in deployment.fault_injector.records]
+    trace = None
+    if violations and collector is not None:
+        trace = collector.to_dict()
     return FuzzRunResult(scenario=scenario, violations=violations,
-                         stats=stats)
+                         stats=stats, trace=trace)

@@ -68,6 +68,9 @@ class Scenario:
         if version != SCENARIO_FORMAT:
             raise ValueError(
                 f"repro file format {version} != {SCENARIO_FORMAT}")
+        # Repro files may carry the violating run's trace export next to
+        # the scenario fields; it is documentation, not an input.
+        data.pop("trace", None)
         return cls(**data)
 
     def to_json(self) -> str:

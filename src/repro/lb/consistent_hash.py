@@ -27,14 +27,31 @@ class ConsistentHashRing(Generic[Node]):
     lookups walk clockwise to the first point at or after the key hash.
     """
 
-    def __init__(self, replicas: int = 100, salt: int = 0):
+    def __init__(self, replicas: int = 100, salt: int = 0,
+                 point_space: Optional[int] = None):
         if replicas <= 0:
             raise ValueError("replicas must be positive")
+        if point_space is not None and point_space <= 0:
+            raise ValueError("point_space must be positive")
         self.replicas = replicas
         self.salt = salt
+        #: Modulus applied to hash values.  Production rings keep the
+        #: full 32-bit space; tests shrink it to force point collisions.
+        self.point_space = point_space
         self._points: list[int] = []
         self._point_node: dict[int, Node] = {}
+        #: Every node claiming each point, in arrival order.  Collided
+        #: points survive membership churn: when the owning node leaves,
+        #: the point is re-assigned to the next claimant instead of
+        #: being dropped from the ring forever.
+        self._point_claims: dict[int, list[Node]] = {}
         self._nodes: set[Node] = set()
+
+    def _hash(self, *parts) -> int:
+        value = stable_hash(*parts)
+        if self.point_space is not None:
+            value %= self.point_space
+        return value
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -46,28 +63,47 @@ class ConsistentHashRing(Generic[Node]):
     def nodes(self) -> set[Node]:
         return set(self._nodes)
 
+    @property
+    def point_count(self) -> int:
+        """Live virtual points (distinct hash positions on the ring)."""
+        return len(self._points)
+
     def add(self, node: Node) -> None:
         if node in self._nodes:
             return
         self._nodes.add(node)
         for replica in range(self.replicas):
-            point = stable_hash("chash", self.salt, node, replica)
-            # On the (rare) collision the earlier node keeps the point.
-            if point not in self._point_node:
+            point = self._hash("chash", self.salt, node, replica)
+            claims = self._point_claims.get(point)
+            if claims is None:
+                self._point_claims[point] = [node]
                 self._point_node[point] = node
                 bisect.insort(self._points, point)
+            else:
+                # On the (rare) collision the earlier node keeps the
+                # point; later claimants queue behind it.
+                claims.append(node)
 
     def remove(self, node: Node) -> None:
         if node not in self._nodes:
             return
         self._nodes.discard(node)
         for replica in range(self.replicas):
-            point = stable_hash("chash", self.salt, node, replica)
-            if self._point_node.get(point) == node:
-                del self._point_node[point]
-                index = bisect.bisect_left(self._points, point)
-                if index < len(self._points) and self._points[index] == point:
-                    self._points.pop(index)
+            point = self._hash("chash", self.salt, node, replica)
+            claims = self._point_claims.get(point)
+            if claims is None or node not in claims:
+                continue
+            # One claim per replica: a node whose own replicas collide
+            # holds several claims on the same point.
+            claims.remove(node)
+            if claims:
+                self._point_node[point] = claims[0]
+                continue
+            del self._point_claims[point]
+            del self._point_node[point]
+            index = bisect.bisect_left(self._points, point)
+            if index < len(self._points) and self._points[index] == point:
+                self._points.pop(index)
 
     def lookup(self, *key_parts) -> Optional[Node]:
         """The node owning ``key`` (None when the ring is empty)."""

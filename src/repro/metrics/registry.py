@@ -22,6 +22,11 @@ class MetricsRegistry:
 
     def __init__(self, bucket_width: float = 1.0):
         self.bucket_width = bucket_width
+        #: The run's :class:`repro.trace.TraceCollector`, installed by
+        #: ``repro.trace.runtime``; ``None`` keeps every traced call
+        #: site to a single attribute read + ``is not None`` test (the
+        #: bound-handle rule).
+        self.tracing = None
         self.global_counters = CounterSet()
         self._scoped: dict[str, CounterSet] = {}
         self._series: dict[str, TimeSeries] = {}

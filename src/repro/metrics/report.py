@@ -52,14 +52,21 @@ def _resample(series: Sequence[tuple[float, float]],
 def render_series(name: str, series: Sequence[tuple[float, float]],
                   width: int = 60, lo: Optional[float] = None,
                   hi: Optional[float] = None) -> str:
-    """``name  ▁▂▅▇▇█...  [min .. max]`` for one series."""
+    """``name  ▁▂▅▇▇█...  [lo .. hi]`` for one series.
+
+    The bracketed range is the scale the sparkline is drawn against —
+    the resampled averages' min/max unless ``lo``/``hi`` pin it — so a
+    full-height block always means "at the bracketed max".  (Labelling
+    the raw series extremes while scaling to the resampled averages
+    made downsampled peaks look like they missed the printed range.)
+    """
     if not series:
         return f"{name:24s} (no data)"
     values = _resample(series, width)
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
     spark = sparkline(values, lo=lo, hi=hi)
-    return (f"{name:24s} {spark}  "
-            f"[{min(v for _, v in series):.3g} .. "
-            f"{max(v for _, v in series):.3g}]")
+    return f"{name:24s} {spark}  [{lo:.3g} .. {hi:.3g}]"
 
 
 def render_faults(summary: dict) -> list[str]:

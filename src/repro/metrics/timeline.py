@@ -8,6 +8,20 @@ from typing import Callable, Optional
 __all__ = ["TimeSeries", "IntervalAccumulator", "UtilizationTracker"]
 
 
+def _last_bucket(end: float, bucket_width: float) -> int:
+    """Index of the last bucket in the half-open range [.., end).
+
+    Integer comparison, not ``bucket_of(end - epsilon)``: a fixed
+    epsilon is lost to float64 rounding at large magnitudes
+    (``1e6 - 1e-12 == 1e6``), which handed boundary-aligned ``end``
+    values one spurious extra bucket.
+    """
+    last = math.floor(end / bucket_width)
+    if last * bucket_width >= end:
+        last -= 1
+    return last
+
+
 class TimeSeries:
     """Events accumulated into fixed-width time buckets.
 
@@ -50,7 +64,8 @@ class TimeSeries:
     def series(self, start: float, end: float,
                default: float = 0.0) -> list[tuple[float, float]]:
         """(bucket_start_time, value) pairs covering [start, end)."""
-        first, last = self.bucket_of(start), self.bucket_of(end - 1e-12)
+        first = self.bucket_of(start)
+        last = _last_bucket(end, self.bucket_width)
         return [
             (bucket * self.bucket_width, self.value_at_bucket(bucket, default))
             for bucket in range(first, last + 1)
@@ -96,7 +111,7 @@ class IntervalAccumulator:
         if end == start:
             return
         first = math.floor(start / self.bucket_width)
-        last = math.floor((end - 1e-12) / self.bucket_width)
+        last = _last_bucket(end, self.bucket_width)
         if first == last:
             # Entirely inside one bucket: the whole weight lands there.
             buckets = self._buckets
@@ -115,7 +130,7 @@ class IntervalAccumulator:
 
     def series(self, start: float, end: float) -> list[tuple[float, float]]:
         first = int(math.floor(start / self.bucket_width))
-        last = int(math.floor((end - 1e-12) / self.bucket_width))
+        last = _last_bucket(end, self.bucket_width)
         return [(bucket * self.bucket_width, self._buckets.get(bucket, 0.0))
                 for bucket in range(first, last + 1)]
 

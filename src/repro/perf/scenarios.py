@@ -147,6 +147,53 @@ def reuseport_dispatch(env_factory: Callable, scale: float) -> dict:
     return {"ops": received[0], "events": env._eid}
 
 
+def trace_disabled(env_factory: Callable, scale: float) -> dict:
+    """The disabled-tracing hot path: one attribute read + None test.
+
+    This is exactly what every traced call site pays when no collector
+    is installed — the bound-handle discipline the trace subsystem
+    promises.  Kernel-insensitive (no simulation runs).
+    """
+    from ..metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    n = int(300_000 * scale)
+    hops = 0
+    for _ in range(n):
+        tracer = registry.tracing
+        if tracer is not None:
+            raise AssertionError("tracing must be disabled here")
+        hops += 1
+    assert hops == n
+    return {"ops": n, "events": 0}
+
+
+def trace_spans(env_factory: Callable, scale: float) -> dict:
+    """Enabled-tracing throughput: root + child span, annotate, finish.
+
+    Prices the per-request cost a traced run pays, and keeps the
+    retention caps honest (the collector must stay O(max_traces), not
+    O(requests)).  Kernel-insensitive: the env only provides sim time.
+    """
+    from ..simkernel.rng import RandomStreams
+    from ..trace import TraceCollector, TraceConfig
+
+    env = env_factory()
+    collector = TraceCollector(
+        env, RandomStreams(3).stream("trace"),
+        TraceConfig(sample_rate=1.0, max_traces=64))
+    n = int(20_000 * scale)
+    for i in range(n):
+        root = collector.start_trace("bench.request", scope="bench")
+        child = root.child("bench.hop", scope="bench")
+        child.annotate("attempt", i % 3)
+        child.finish("ok")
+        root.finish("ok")
+    doc = collector.to_dict()
+    assert len(doc["traces"]) <= 64
+    return {"ops": n, "events": 0}
+
+
 # -- macro: scaled-up figure experiments -------------------------------------
 
 def _macro_deployment(env_factory: Callable, *, edge_proxies: int,
@@ -240,6 +287,10 @@ MICRO_SCENARIOS: list[Scenario] = [
     Scenario("event_churn", "micro", event_churn, repeat=3),
     Scenario("timeout_storm", "micro", timeout_storm, repeat=3),
     Scenario("counter_inc", "micro", counter_inc,
+             kernel_sensitive=False, repeat=3),
+    Scenario("trace_disabled", "micro", trace_disabled,
+             kernel_sensitive=False, repeat=3),
+    Scenario("trace_spans", "micro", trace_spans,
              kernel_sensitive=False, repeat=3),
     Scenario("reuseport_dispatch", "micro", reuseport_dispatch, repeat=2),
 ]

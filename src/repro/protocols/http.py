@@ -75,6 +75,11 @@ class HttpRequest:
     streaming: bool = False
     user_id: Optional[int] = None
     id: int = field(default_factory=lambda: next(_request_ids))
+    #: Trace context (a ``repro.trace.Span``), or None when untraced.
+    #: Each hop re-points this at its own span before forwarding, so
+    #: the next tier parents correctly.  Excluded from comparison: two
+    #: requests are the same request whether or not they were sampled.
+    trace: Any = field(default=None, repr=False, compare=False)
 
     @property
     def pseudo_headers(self) -> dict[str, str]:
@@ -90,7 +95,8 @@ class HttpRequest:
         return HttpRequest(
             method=self.method, path=self.path, headers=dict(self.headers),
             body_size=self.body_size, version=self.version,
-            streaming=self.streaming, user_id=self.user_id, id=self.id)
+            streaming=self.streaming, user_id=self.user_id, id=self.id,
+            trace=self.trace)
 
 
 @dataclass

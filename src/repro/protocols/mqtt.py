@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 __all__ = [
     "MqttConnect", "MqttConnAck", "MqttPublish", "MqttPingReq",
@@ -45,6 +45,9 @@ class MqttConnect:
     client_id: str = ""
     clean_session: bool = False
     id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Trace context (a ``repro.trace.Span``) carried tier to tier so
+    #: tunnel spans parent under the client session span.
+    trace: Any = field(default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -103,6 +106,8 @@ class ReConnect:
 
     user_id: int
     id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Trace context of the tunnel being rehomed (DCR §4.2).
+    trace: Any = field(default=None, repr=False, compare=False)
 
 
 @dataclass

@@ -78,11 +78,17 @@ class ProxygenInstance:
         # Bound handles for the per-request hot path.
         self._c_rps = self.counters.bound("rps")
         self._c_tls = self.counters.bound("tls_handshakes")
+        #: The run's TraceCollector, cached at boot (bound-handle rule:
+        #: disabled tracing is one attribute read + None test per hop).
+        self.tracer = self.host.metrics.tracing
         self.state = self.STATE_STARTING
         self.exited_event = self.host.env.event()
         #: Sim time the drain began (None while not draining) — lets the
         #: drain-monotonicity invariant excuse same-instant accept races.
         self.drain_started_at: Optional[float] = None
+        #: Why the drain began ("takeover" | "hard"), for trace
+        #: annotations distinguishing takeover crossings from hard drains.
+        self.drain_reason: Optional[str] = None
 
         self.tcp_listeners: dict[str, "TcpListenSocket"] = {}
         self.udp_sockets: dict[str, list["UdpSocket"]] = {}
@@ -133,6 +139,28 @@ class ProxygenInstance:
         """Errors sent toward end-users, tagged like Fig 12's categories."""
         self.counters.inc("client_error", tag=kind)
         self.host.metrics.series("edge/errors").record(self.host.env.now)
+
+    def _hop_span(self, request: HttpRequest, name: str):
+        """Child span for this hop (None when the request is untraced).
+
+        Re-points ``request.trace`` at the new span so the next tier
+        parents under us, and flags requests served by a post-takeover
+        draining instance — the paper's "crossed a takeover" signal —
+        for tail-based retention.
+        """
+        tracer = self.tracer
+        if tracer is None or request.trace is None:
+            return None
+        span = tracer.span(request.trace, name, scope=self.server.name)
+        span.annotate("instance", self.name)
+        if self.state == self.STATE_DRAINING:
+            if self.drain_reason == "takeover":
+                span.annotate("takeover.crossed", self.name)
+                tracer.keep(span)
+            else:
+                span.annotate("draining", self.drain_reason)
+        request.trace = span
+        return span
 
     # ------------------------------------------------------------------
     # startup paths
@@ -240,7 +268,11 @@ class ProxygenInstance:
             return
         self.state = self.STATE_DRAINING
         self.drain_started_at = self.host.env.now
+        self.drain_reason = reason
         self.counters.inc("drain_started", tag=reason)
+        if self.tracer is not None:
+            self.tracer.event("drain_begin", scope=self.server.name,
+                              generation=self.generation, reason=reason)
         if self._takeover_listener is not None:
             self._takeover_listener.close()
         if reason == "takeover":
@@ -337,6 +369,8 @@ class ProxygenInstance:
             return
         if not plane.admission.try_acquire(
                 draining=self.state == self.STATE_DRAINING):
+            if self.tracer is not None and request.trace is not None:
+                request.trace.annotate("shed.edge", self.name)
             if conn.alive:
                 response = shed_response(request.id,
                                          plane.admission.retry_after)
@@ -353,6 +387,7 @@ class ProxygenInstance:
         costs = self.config.costs
         self._c_rps.inc()
         self.host.metrics.series(f"rps/{self.server.name}").record(env.now)
+        span = self._hop_span(request, "edge.http")
         yield from self.host.cpu.execute(costs.relay_message)
 
         if request.headers.get("cacheable") == "1":
@@ -363,6 +398,9 @@ class ProxygenInstance:
                 conn.send(HttpResponse(STATUS_OK, request.id),
                           size=response_size)
                 self._count_response(STATUS_OK, response_size)
+            if span is not None:
+                span.annotate("edge.cache_hit")
+                span.finish("ok")
             return
 
         try:
@@ -383,6 +421,8 @@ class ProxygenInstance:
                 if isinstance(item, StreamControl):
                     stream.rst()
                     self.counters.inc("client_gone_mid_post")
+                    if span is not None:
+                        span.fail("client_gone")
                     return
                 chunk = item.payload
                 if not isinstance(chunk, BodyChunk):
@@ -412,10 +452,14 @@ class ProxygenInstance:
             response_size = max(600, response.body_size)
             conn.send(response, size=response_size)
             self._count_response(response.status, response_size)
+        if span is not None:
+            span.finish("ok")
 
     def _edge_http_error(self, conn: "TcpEndpoint", request: HttpRequest,
                          kind: str) -> None:
         self.count_client_error(kind)
+        if self.tracer is not None and request.trace is not None:
+            request.trace.fail(kind)
         if conn.alive:
             conn.send(HttpResponse(STATUS_INTERNAL_ERROR, request.id,
                                    "Internal Server Error"), size=200)
@@ -468,6 +512,8 @@ class ProxygenInstance:
                 return
             if not plane.admission.try_acquire(
                     draining=self.state == self.STATE_DRAINING):
+                if self.tracer is not None and payload.trace is not None:
+                    payload.trace.annotate("shed.origin", self.name)
                 self._stream_reply(
                     stream,
                     shed_response(payload.id, plane.admission.retry_after),
@@ -488,7 +534,7 @@ class ProxygenInstance:
         else:
             yield from self._origin_short(stream, request)
 
-    def _pick_backend(self, exclude: tuple[str, ...]):
+    def _pick_backend(self, exclude: tuple[str, ...], span=None):
         """Pool pick that also honors per-backend circuit breakers."""
         pool = self.context.app_pool
         plane = self.resilience
@@ -498,6 +544,8 @@ class ProxygenInstance:
                 return server
             if plane.breakers.get(f"app:{server.host.ip}").allow():
                 return server
+            if span is not None:
+                span.annotate("breaker.open", f"app:{server.host.ip}")
             exclude += (server.host.ip,)
 
     def _origin_short(self, stream, request: HttpRequest):
@@ -511,6 +559,7 @@ class ProxygenInstance:
         env = self.host.env
         plane = self.resilience
         pool = self.context.app_pool
+        span = self._hop_span(request, "origin.short")
         yield from self.host.cpu.execute(self.config.costs.relay_message)
         if plane is not None:
             plane.note_request()
@@ -521,9 +570,15 @@ class ProxygenInstance:
         for attempt in range(attempts):
             if attempt > 0 and plane is not None:
                 if not plane.spend_retry():
+                    if span is not None:
+                        span.annotate("retry.budget_exhausted")
                     break
                 yield from plane.backoff_wait(attempt)
-            server = self._pick_backend(exclude)
+            if attempt > 0 and span is not None:
+                span.annotate("retry.attempt", attempt)
+                # Retried requests are mechanism-rich: tail-keep them.
+                self.tracer.keep(span)
+            server = self._pick_backend(exclude, span=span)
             if server is None:
                 break
             ip = server.host.ip
@@ -535,9 +590,15 @@ class ProxygenInstance:
                 pool.record_success(win_ip, env.now - start)
                 if plane is not None:
                     plane.breakers.get(f"app:{win_ip}").record_success()
+                if span is not None:
+                    if winner is not None and winner is not server:
+                        span.annotate("hedge.won", win_ip)
+                    span.finish("ok")
                 self._stream_reply(stream, response,
                                    size=max(600, response.body_size))
                 return
+            if span is not None:
+                span.annotate("retry.cause", f"{verdict}:{ip}")
             if verdict == "shed":
                 # Backpressure, not breakage: the app server refused
                 # with 503 + Retry-After.  Retry elsewhere without a
@@ -558,6 +619,8 @@ class ProxygenInstance:
             # Out of alternatives: relay the shed verbatim so the
             # client backs off on its Retry-After instead of seeing
             # a synthesized 500.
+            if span is not None:
+                span.finish("shed")
             self._stream_reply(stream, last_shed,
                                size=max(200, last_shed.body_size))
             return
@@ -675,6 +738,8 @@ class ProxygenInstance:
                 conn.abort(reason="hedge_send_fail")
             return None
         self.counters.inc("hedge_sent")
+        if self.tracer is not None and request.trace is not None:
+            request.trace.annotate("hedge.sent", server.host.ip)
         return server, conn
 
     def _hedge_race(self, conn, server, hedge_server, hedge_conn,
@@ -751,6 +816,7 @@ class ProxygenInstance:
         costs = self.config.costs
         plane = self.resilience
         pool = self.context.app_pool
+        span = self._hop_span(request, "origin.post")
         self.counters.inc("post_started")
         yield from self.host.cpu.execute(costs.relay_message)
         if plane is not None:
@@ -779,8 +845,16 @@ class ProxygenInstance:
             # but the server had not processed (our forwarding state
             # knows its size, §5.2).
             replay_bytes = max(forwarded, response.partial_body_size)
+            if span is not None:
+                span.annotate("ppr.379_received", response.partial_body_size)
+                self.tracer.keep(span)
 
         for attempt in range(self.config.ppr_max_retries + 1):
+            if attempt > 0 and span is not None:
+                # Whether a failed backend or a PPR replay drove it, a
+                # second attempt is a retry: tail-keep the trace.
+                span.annotate("retry.attempt", attempt)
+                self.tracer.keep(span)
             if backoff_pending and plane is not None:
                 # Only *failed* attempts back off; a PPR replay after a
                 # valid 379 switches servers immediately (§4.3 keeps the
@@ -809,6 +883,9 @@ class ProxygenInstance:
                                         is_last=(last_seen and not pending)),
                               size=replay_bytes)
                     self.counters.inc("ppr_bytes_replayed", replay_bytes)
+                    if span is not None:
+                        span.annotate("ppr.replayed_bytes", replay_bytes)
+                        span.annotate("ppr.replay_target", server.host.ip)
                 forwarded = replay_bytes
                 for chunk in pending:
                     conn.send(chunk, size=chunk.data_size)
@@ -864,6 +941,8 @@ class ProxygenInstance:
                                 or stream.reset):
                             conn.abort(reason="edge_gone")
                             self.counters.inc("post_edge_gone")
+                            if span is not None:
+                                span.fail("edge_gone")
                             return
                         chunk = item.payload
                         if not isinstance(chunk, BodyChunk):
@@ -910,6 +989,8 @@ class ProxygenInstance:
                                 plane.breakers.get(
                                     f"app:{server.host.ip}").record_success()
                             self.conn_pool.checkin(conn)
+                            if span is not None:
+                                span.finish("ok")
                             self._stream_reply(stream, response, size=600)
                             self.counters.inc("post_completed")
                             return
@@ -929,6 +1010,8 @@ class ProxygenInstance:
                         # not safe to replay) but demerit the backend so
                         # future picks route around it.
                         blame(server.host.ip)
+                        if span is not None:
+                            span.fail(f"status_{response.status}")
                         self._stream_reply(stream, response, size=200)
                         self.counters.inc("post_failed_upstream")
                         self.counters.inc("post_disrupted")
@@ -948,6 +1031,8 @@ class ProxygenInstance:
 
     def _fail_stream(self, stream, request: HttpRequest) -> None:
         self.counters.inc("client_error", tag="stream_abort")
+        if self.tracer is not None and request.trace is not None:
+            request.trace.fail("upstream_failed")
         self._stream_reply(
             stream,
             HttpResponse(STATUS_INTERNAL_ERROR, request.id,
@@ -956,4 +1041,6 @@ class ProxygenInstance:
     def _fail_post(self, stream, request: HttpRequest, why: str) -> None:
         self.counters.inc("post_disrupted")
         self.counters.inc("post_fail_reason", tag=why)
+        if self.tracer is not None and request.trace is not None:
+            request.trace.fail(why)
         self._fail_stream(stream, request)

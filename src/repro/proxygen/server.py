@@ -111,8 +111,12 @@ class ProxygenServer:
         old = self.active_instance
         new = self._new_instance()
         tap = self.invariant_tap
+        tracer = self.host.metrics.tracing
         if tap is not None:
             tap.record("takeover_begin", server=self)
+        if tracer is not None:
+            tracer.event("takeover_begin", scope=self.name,
+                         generation=new.generation)
         # The takeover handshake itself flips ``old`` into draining
         # (steps D/E happen server-side inside the protocol).
         try:
@@ -125,11 +129,17 @@ class ProxygenServer:
             new.shutdown("takeover_failed")
             if tap is not None:
                 tap.record("takeover_end", server=self, ok=False)
+            if tracer is not None:
+                tracer.event("takeover_end", scope=self.name,
+                             generation=new.generation, ok=False)
             raise
         self.draining_instance = old
         self.active_instance = new
         if tap is not None:
             tap.record("takeover_end", server=self, ok=True)
+        if tracer is not None:
+            tracer.event("takeover_end", scope=self.name,
+                         generation=new.generation, ok=True)
 
     def _release_hard(self):
         """Traditional restart: drain (failing HC) → kill → cold boot."""

@@ -156,6 +156,15 @@ def run_takeover_client(instance: "ProxygenInstance"):
     """
     host = instance.host
     timeout = instance.config.takeover_handshake_timeout
+    # getattr: tests drive this generator with bare instance shims that
+    # carry only host/process/config.
+    tracer = getattr(instance, "tracer", None)
+    span = None
+    if tracer is not None:
+        # Takeover handshakes are rare and load-bearing: always keep.
+        span = tracer.start_trace("takeover", scope=instance.server.name,
+                                  keep=True)
+        span.annotate("takeover.generation", instance.generation)
     channel = yield host.unix_connect(instance.process,
                                       instance.config.takeover_path)
     channel.send({"type": "request_fds"})
@@ -164,9 +173,13 @@ def run_takeover_client(instance: "ProxygenInstance"):
         # A late FD bundle must not leak: closing the channel makes the
         # in-flight install path drop its references instead.
         channel.close()
+        if span is not None:
+            span.fail("fd_bundle_timeout")
         raise TakeoverFailed("timed out waiting for the FD bundle")
     payload, fds = outcome
     if payload.get("type") != "fds":
+        if span is not None:
+            span.fail("bad_reply")
         raise TakeoverFailed(f"unexpected takeover reply: {payload!r}")
 
     meta: list[SocketMeta] = payload["meta"]
@@ -191,6 +204,12 @@ def run_takeover_client(instance: "ProxygenInstance"):
     else:
         payload, _ = outcome
         drain_confirmed = payload.get("type") == "drain_started"
+    if span is not None:
+        span.annotate("takeover.tcp_fds", len(tcp_fds))
+        span.annotate("takeover.udp_fds",
+                      sum(len(v) for v in udp_fds.values()))
+        span.annotate("takeover.drain_confirmed", drain_confirmed)
+        span.finish("ok")
     return TakeoverResult(
         tcp_listener_fds=tcp_fds,
         udp_socket_fds=udp_fds,

@@ -51,18 +51,22 @@ class EdgeMqttTunnel:
         self.user_id = user_id
         self.stream: Optional[H2Stream] = None
         self.closed = False
+        self.span = None
 
     # -- establishment ---------------------------------------------------
 
     def establish(self, connect: MqttConnect):
         """Generator: open the upstream stream and forward the CONNECT."""
         instance = self.instance
+        self.span = instance._hop_span(connect, "edge.tunnel")
         try:
             self.stream = yield from instance.upstream.open_stream()
         except UpstreamUnavailable:
             instance.count_client_error("stream_abort")
             self.client_conn.abort(reason="no_upstream")
             self.closed = True
+            if self.span is not None:
+                self.span.fail("no_upstream")
             return False
         self.stream.send(connect, size=120, frame_type=FrameType.HEADERS)
         instance.mqtt_tunnels[self.user_id] = self
@@ -152,7 +156,7 @@ class EdgeMqttTunnel:
                 candidate = yield from instance.upstream.open_stream()
             except UpstreamUnavailable:
                 break
-            candidate.send(ReConnect(self.user_id), size=64,
+            candidate.send(ReConnect(self.user_id, trace=self.span), size=64,
                            frame_type=FrameType.HEADERS)
             outcome = yield from with_timeout(
                 instance.host.env, candidate.recv(), 5.0)
@@ -166,6 +170,8 @@ class EdgeMqttTunnel:
             # the GOAWAY by now, so the retry dials a fresh connection
             # (served by the updated parallel instance, §4.4).
             instance.counters.inc("dcr_rehome_retry")
+            if self.span is not None:
+                self.span.annotate("dcr.rehome_retry", attempt)
             if not candidate.reset and not candidate.local_closed:
                 try:
                     candidate.send(MqttDisconnect(self.user_id), size=16,
@@ -174,9 +180,14 @@ class EdgeMqttTunnel:
                     pass
         if new_stream is None:
             instance.counters.inc("dcr_rehome_failed")
+            if self.span is not None:
+                self.span.annotate("dcr.rehome_failed")
             self._on_tunnel_broken()
             return False
         self.stream = new_stream
+        if self.span is not None:
+            self.span.annotate("dcr.rehomed")
+            instance.tracer.keep(self.span)
         if old_stream is not None and not old_stream.reset:
             try:
                 old_stream.send(MqttDisconnect(self.user_id), size=16,
@@ -249,12 +260,16 @@ class EdgeMqttTunnel:
         if self.closed:
             return
         self.instance.counters.inc("mqtt_tunnel_broken")
+        if self.span is not None:
+            self.span.fail("tunnel_broken")
         if self.client_conn.alive:
             self.client_conn.abort(reason="tunnel_broken")
         self._teardown()
 
     def _teardown(self) -> None:
         self.closed = True
+        if self.span is not None:
+            self.span.finish("closed")
         self.instance.mqtt_tunnels.pop(self.user_id, None)
 
 
@@ -268,6 +283,7 @@ class OriginMqttTunnel:
         self.user_id = user_id
         self.broker_conn: Optional["TcpEndpoint"] = None
         self.closed = False
+        self.span = None
 
     # -- establishment ---------------------------------------------------------
 
@@ -278,10 +294,15 @@ class OriginMqttTunnel:
         (DCR splice) that opened the stream.
         """
         instance = self.instance
+        self.span = instance._hop_span(first_message, "origin.tunnel")
+        if self.span is not None and isinstance(first_message, ReConnect):
+            self.span.annotate("dcr.splice")
         broker_ip = instance.context.broker_for_user(self.user_id)
         if broker_ip is None:
             self._refuse()
             return
+        if self.span is not None:
+            self.span.annotate("broker", broker_ip)
         try:
             self.broker_conn = yield from instance.conn_pool.checkout(
                 broker_ip, instance.context.broker_port)
@@ -299,6 +320,8 @@ class OriginMqttTunnel:
 
     def _refuse(self) -> None:
         self.instance.counters.inc("origin_tunnel_refused")
+        if self.span is not None:
+            self.span.fail("refused")
         if not self.stream.reset:
             try:
                 self.stream.send(ConnectRefuse(self.user_id), size=32,
@@ -372,6 +395,8 @@ class OriginMqttTunnel:
         if self.closed:
             return
         self.closed = True
+        if self.span is not None:
+            self.span.finish("closed")
         self.instance.mqtt_tunnels.pop(self.user_id, None)
         if close_broker and self.broker_conn is not None \
                 and self.broker_conn.alive:

@@ -1,0 +1,9 @@
+"""End-to-end request tracing for the simulated stack (see collector)."""
+
+from .collector import Span, TraceCollector, TraceConfig, TRACE_FORMAT
+from .render import interesting_traces, render_trace, render_trace_report
+
+__all__ = [
+    "Span", "TraceCollector", "TraceConfig", "TRACE_FORMAT",
+    "interesting_traces", "render_trace", "render_trace_report",
+]

@@ -1,0 +1,88 @@
+"""Opt-in tracing for harness-built deployments.
+
+Mirrors :mod:`repro.invariants.runtime`: the CLI's ``--trace`` flag (and
+the fuzz runner) arm tracing *ambiently*, ``build_deployment`` calls
+:func:`install` right after constructing a deployment, and the run's end
+calls :func:`drain` to collect every installed collector.
+
+``install`` must run **before** ``deployment.start()``: Proxygen
+instances cache ``metrics.tracing`` when they boot (bound-handle
+discipline), so a collector attached after startup only covers
+instances spawned later.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..release import orchestrator as release_orchestrator
+from .collector import TraceCollector, TraceConfig
+
+__all__ = ["set_ambient_trace", "clear_ambient_trace", "ambient_trace",
+           "install", "uninstall", "drain"]
+
+_ambient: Optional[TraceConfig] = None
+_installed: list[tuple[TraceCollector, Callable]] = []
+
+
+def set_ambient_trace(config: Optional[TraceConfig] = None) -> None:
+    """Arm tracing for every deployment built until cleared (the CLI's
+    ``--trace``)."""
+    global _ambient
+    _ambient = config or TraceConfig()
+
+
+def clear_ambient_trace() -> None:
+    global _ambient
+    _ambient = None
+
+
+def ambient_trace() -> Optional[TraceConfig]:
+    return _ambient
+
+
+def install(deployment,
+            config: Optional[TraceConfig] = None) -> Optional[TraceCollector]:
+    """Attach a collector to ``deployment`` (no-op unless ``config`` is
+    given or ambient tracing is armed); registers it for :func:`drain`.
+
+    The collector draws its ids from the deployment's seeded ``"trace"``
+    stream and observes the release orchestrator so takeover/release
+    phases land in the event log next to the spans they disrupt.
+    """
+    config = config if config is not None else _ambient
+    if config is None or not config.enabled:
+        return None
+    if deployment.metrics.tracing is not None:
+        return deployment.metrics.tracing
+    collector = TraceCollector(deployment.env,
+                               deployment.streams.stream("trace"), config)
+    deployment.metrics.tracing = collector
+
+    def _on_release(phase: str, release) -> None:
+        if getattr(release, "env", None) is deployment.env:
+            collector.event(f"release_{phase}", scope=release.name,
+                            targets=len(release.targets))
+
+    release_orchestrator.add_release_observer(_on_release)
+    _installed.append((collector, _on_release))
+    return collector
+
+
+def uninstall(collector: TraceCollector) -> None:
+    """Detach one collector (the fuzz runner detaches per scenario)."""
+    for entry in list(_installed):
+        if entry[0] is collector:
+            release_orchestrator.remove_release_observer(entry[1])
+            _installed.remove(entry)
+
+
+def drain() -> list[TraceCollector]:
+    """Detach and return every installed collector, in install order."""
+    collectors = []
+    while _installed:
+        collector, observer = _installed.pop()
+        release_orchestrator.remove_release_observer(observer)
+        collectors.append(collector)
+    collectors.reverse()
+    return collectors

@@ -99,6 +99,59 @@ def test_replicas_validation():
         ConsistentHashRing(replicas=0)
 
 
+def test_remove_reassigns_collided_point_to_next_claimant():
+    """Regression: a point where two nodes' replicas collided used to be
+    dropped from the ring when the owning node left, instead of being
+    re-assigned to the surviving claimant."""
+    # A 5-slot point space with 4 replicas per node forces collisions.
+    ring = ConsistentHashRing(replicas=4, point_space=5)
+    ring.add("a")
+    ring.add("b")
+    ring.remove("a")
+    solo_b = ConsistentHashRing(replicas=4, point_space=5)
+    solo_b.add("b")
+    # After a's removal the ring must be indistinguishable from one that
+    # only ever contained b — no points lost to the collision.
+    assert ring.point_count == solo_b.point_count
+    assert all(ring.lookup(k) == "b" for k in range(20))
+
+
+def test_point_count_survives_membership_churn():
+    """Regression: collided points eroded permanently across add/remove
+    cycles (each cycle could lose ring share for surviving nodes)."""
+    ring = ConsistentHashRing(replicas=8, point_space=17)
+    for node in ("a", "b", "c"):
+        ring.add(node)
+    total = ring.point_count
+    for _ in range(5):
+        ring.remove("b")
+        ring.add("b")
+    assert ring.point_count == total
+    # Churn down to a single member: its full point set must be intact.
+    ring.remove("b")
+    ring.remove("c")
+    solo_a = ConsistentHashRing(replicas=8, point_space=17)
+    solo_a.add("a")
+    assert ring.point_count == solo_a.point_count
+    assert all(ring.lookup(k) == "a" for k in range(20))
+
+
+def test_self_colliding_replicas_fully_removed():
+    """A node whose own replicas collide holds several claims on one
+    point; removing the node must release all of them."""
+    ring = ConsistentHashRing(replicas=8, point_space=3)
+    ring.add("a")
+    assert 0 < ring.point_count <= 3
+    ring.remove("a")
+    assert ring.point_count == 0
+    assert ring.lookup("k") is None
+
+
+def test_point_space_validation():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(point_space=0)
+
+
 @given(st.sets(st.text(min_size=1, max_size=8), min_size=2, max_size=12),
        st.text(min_size=1, max_size=16))
 @settings(max_examples=40)

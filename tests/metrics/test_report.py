@@ -41,6 +41,22 @@ def test_render_series_downsamples():
     assert len(spark) == 40
 
 
+def test_render_series_label_matches_sparkline_scale():
+    """Regression: the bracket showed the raw series min/max while the
+    sparkline was scaled to the *resampled averages* — downsampled peaks
+    looked like they never reached the printed range."""
+    # 500 points alternating 0/100 resample (chunks of 10) to exactly 50.
+    series = [(float(i), 100.0 * (i % 2)) for i in range(500)]
+    out = render_series("alt", series, width=50)
+    assert "[50 .. 50]" in out
+    assert "[0 .. 100]" not in out
+
+
+def test_render_series_labels_explicit_bounds():
+    out = render_series("x", [(0, 1.0), (1, 2.0)], lo=0, hi=10)
+    assert "[0 .. 10]" in out
+
+
 def test_render_comparison_shared_scale():
     out = render_comparison({
         "low": [(0, 0.0), (1, 1.0)],

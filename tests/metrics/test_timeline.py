@@ -42,6 +42,27 @@ def test_timeseries_bucket_boundary():
     assert series.values(0, 20) == [0.0, 1.0]
 
 
+def test_timeseries_boundary_aligned_end_small_and_large():
+    """Regression: ``series`` computed the last bucket as
+    ``bucket_of(end - 1e-12)``; at large magnitudes the epsilon is lost
+    to float64 rounding (``1e6 - 1e-12 == 1e6``), so a boundary-aligned
+    ``end`` produced one spurious extra bucket."""
+    series = TimeSeries(bucket_width=1)
+    # Small magnitude: [0, 4) is exactly 4 buckets.
+    assert len(series.series(0.0, 4.0)) == 4
+    # Large magnitude: [999990, 1e6) is exactly 10 buckets, ending at
+    # bucket 999999 — not 11 ending at a phantom bucket 1000000.
+    big = series.series(999_990.0, 1_000_000.0)
+    assert len(big) == 10
+    assert big[-1][0] == 999_999.0
+
+
+def test_timeseries_non_aligned_end_includes_partial_bucket():
+    series = TimeSeries(bucket_width=10)
+    series.record(25.0)
+    assert series.values(0.0, 25.1) == [0.0, 0.0, 1.0]
+
+
 def test_timeseries_normalized_by_first_bucket():
     series = TimeSeries(bucket_width=1)
     for t, v in [(0, 100), (1, 50), (2, 200)]:
@@ -74,6 +95,16 @@ def test_interval_accumulator_zero_length_noop():
     acc = IntervalAccumulator(bucket_width=1)
     acc.add(5, 5)
     assert acc.series(0, 10) == [(float(i), 0.0) for i in range(10)]
+
+
+def test_interval_accumulator_large_magnitude_boundary():
+    """Same epsilon bug as ``TimeSeries.series``: a boundary-aligned end
+    at large magnitude must not grow the series by a phantom bucket."""
+    acc = IntervalAccumulator(bucket_width=1)
+    acc.add(999_998.0, 1_000_000.0, weight=2.0)
+    pairs = acc.series(999_998.0, 1_000_000.0)
+    assert len(pairs) == 2
+    assert [v for _, v in pairs] == pytest.approx([1.0, 1.0])
 
 
 def test_interval_accumulator_rejects_backwards():
