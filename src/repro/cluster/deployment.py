@@ -22,6 +22,7 @@ from ..faults.injector import FaultInjector, ambient_plan
 from ..faults.plan import FaultPlan
 from ..lb.consistent_hash import ConsistentHashRing
 from ..lb.katran import Katran
+from ..lb.routers import ambient_lb_scheme
 from ..metrics.registry import MetricsRegistry
 from ..netsim.addresses import Endpoint, Protocol, VIP
 from ..netsim.host import Host
@@ -116,6 +117,13 @@ class Deployment:
                 return config
             return replace(config, resilience=ambient)
 
+        # Same rule for the CLI's ``--lb-scheme``: override via replace(),
+        # never by mutating the spec's KatranConfig.
+        katran_config = spec.resolved_katran_config()
+        scheme = ambient_lb_scheme()
+        if scheme is not None and katran_config.lb_scheme != scheme:
+            katran_config = replace(katran_config, lb_scheme=scheme)
+
         # Brokers and app servers (Origin DC).
         for i in range(spec.brokers):
             host = self._host(f"broker-{i}", "origin",
@@ -161,7 +169,7 @@ class Deployment:
                                         spec.app_cores, spec.app_core_speed)
         self.origin_katran = Katran(
             origin_katran_host, self.origin_hosts,
-            config=spec.katran_config, name="origin-katran",
+            config=katran_config, name="origin-katran",
             hc_vip=origin_vip)
 
         # Edge proxies + their Katran.
@@ -189,7 +197,7 @@ class Deployment:
                                       spec.app_cores, spec.app_core_speed)
         self.edge_katran = Katran(
             edge_katran_host, self.edge_hosts,
-            config=spec.katran_config, name="edge-katran",
+            config=katran_config, name="edge-katran",
             hc_vip=edge_https)
 
         # Client populations.

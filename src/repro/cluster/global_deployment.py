@@ -10,7 +10,7 @@ simulation rather than an analytic model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..appserver.brokers import MqttBroker
@@ -19,6 +19,7 @@ from ..appserver.pool import AppServerPool
 from ..clients.web import WebClientPopulation, WebWorkloadConfig
 from ..lb.consistent_hash import ConsistentHashRing
 from ..lb.katran import Katran, KatranConfig
+from ..lb.routers import ambient_lb_scheme
 from ..metrics.registry import MetricsRegistry
 from ..netsim.addresses import Endpoint, Protocol, VIP
 from ..netsim.host import Host
@@ -50,6 +51,9 @@ class GlobalSpec:
     clients_per_pop: int = 10
     edge_config: Optional[ProxygenConfig] = None
     origin_config: Optional[ProxygenConfig] = None
+    katran_config: Optional[KatranConfig] = None
+    #: L4LB routing policy for every PoP (repro.lb.routers).
+    lb_scheme: Optional[str] = None
     web_workload: Optional[WebWorkloadConfig] = field(
         default_factory=lambda: WebWorkloadConfig(clients_per_host=10,
                                                   think_time=1.0))
@@ -93,6 +97,15 @@ class GlobalDeployment:
     def _build(self) -> None:
         spec = self.spec
 
+        # Resolve the L4LB policy once for every Katran in the topology:
+        # spec override first, then the CLI's ambient --lb-scheme; apply
+        # via replace() — the spec's config may be shared across arms.
+        katran_config = spec.katran_config or KatranConfig()
+        scheme = spec.lb_scheme or ambient_lb_scheme()
+        if scheme is not None and katran_config.lb_scheme != scheme:
+            katran_config = replace(katran_config, lb_scheme=scheme)
+        self.katran_config = katran_config
+
         # One Origin DC.
         self.app_pool = AppServerPool()
         self.app_servers: list[AppServer] = []
@@ -130,7 +143,8 @@ class GlobalDeployment:
             for host in self.origin_hosts]
         self.origin_katran = Katran(
             self._host("dc/katran", "origin"), self.origin_hosts,
-            hc_vip=origin_vip, name="origin-katran")
+            hc_vip=origin_vip, name="origin-katran",
+            config=self.katran_config)
 
         # Edge PoPs, each with its own site, VIP, Katran and users.
         for p in range(spec.pops):
@@ -155,7 +169,8 @@ class GlobalDeployment:
                                for v in vips])
                 for host in hosts]
             katran = Katran(self._host(f"{site}/katran", site), hosts,
-                            hc_vip=vip, name=f"katran-{site}")
+                            hc_vip=vip, name=f"katran-{site}",
+                            config=self.katran_config)
             clients = None
             if spec.web_workload is not None:
                 client_host = self._host(f"{site}/clients",

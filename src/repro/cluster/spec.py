@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..appserver.brokers import BrokerConfig
@@ -58,6 +58,9 @@ class DeploymentSpec:
     app_config: Optional[AppServerConfig] = None
     broker_config: Optional[BrokerConfig] = None
     katran_config: Optional[KatranConfig] = None
+    #: L4LB routing policy (repro.lb.routers.ROUTER_SCHEMES); None keeps
+    #: katran_config's own scheme (historically the LRU hybrid).
+    lb_scheme: Optional[str] = None
 
     # Workloads (None → population not started)
     web_workload: Optional[WebWorkloadConfig] = field(
@@ -66,6 +69,12 @@ class DeploymentSpec:
         default_factory=MqttWorkloadConfig)
     quic_workload: Optional[QuicWorkloadConfig] = field(
         default_factory=QuicWorkloadConfig)
+
+    def resolved_katran_config(self) -> KatranConfig:
+        config = self.katran_config or KatranConfig()
+        if self.lb_scheme is not None and config.lb_scheme != self.lb_scheme:
+            config = replace(config, lb_scheme=self.lb_scheme)
+        return config
 
     def resolved_edge_config(self) -> ProxygenConfig:
         if self.edge_config is not None:

@@ -20,6 +20,7 @@ from . import fig13_zdr_timeline
 from . import fig15_release_hours
 from . import fig16_completion_time
 from . import fig17_takeover_overhead
+from . import lb_ablation
 from .common import ExperimentResult
 
 ALL_EXPERIMENTS = {
@@ -37,6 +38,7 @@ ALL_EXPERIMENTS = {
     "fig15": fig15_release_hours,
     "fig16": fig16_completion_time,
     "fig17": fig17_takeover_overhead,
+    "lbablation": lb_ablation,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

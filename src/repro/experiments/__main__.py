@@ -23,6 +23,8 @@ import time
 from ..faults import BUILTIN_PLANS, builtin_plan, clear_ambient_plan, \
     set_ambient_plan
 from ..invariants import runtime as invariant_runtime
+from ..lb.routers import ROUTER_SCHEMES, clear_ambient_lb_scheme, \
+    set_ambient_lb_scheme
 from ..metrics.report import render_faults, render_series
 from ..resilience import ResilienceConfig, clear_ambient_resilience, \
     set_ambient_resilience
@@ -51,6 +53,10 @@ def main(argv=None) -> int:
                         help="enable the resilient data plane (outlier "
                              "ejection, breakers, retry budgets, load "
                              "shedding) in every deployment built")
+    parser.add_argument("--lb-scheme", choices=list(ROUTER_SCHEMES),
+                        default=None,
+                        help="L4LB flow-routing policy for every Katran "
+                             "built (default: the paper's LRU hybrid)")
     parser.add_argument("--trace", action="store_true",
                         help="trace sampled requests end to end and print "
                              "the most interesting span trees")
@@ -80,6 +86,9 @@ def main(argv=None) -> int:
 
     if args.resilience:
         set_ambient_resilience(ResilienceConfig(enabled=True))
+
+    if args.lb_scheme is not None:
+        set_ambient_lb_scheme(args.lb_scheme)
 
     if args.trace:
         trace_runtime.set_ambient_trace()
@@ -131,6 +140,7 @@ def main(argv=None) -> int:
     finally:
         clear_ambient_plan()
         clear_ambient_resilience()
+        clear_ambient_lb_scheme()
         trace_runtime.clear_ambient_trace()
         trace_runtime.drain()
         invariant_runtime.drain()  # reset registry for in-process callers

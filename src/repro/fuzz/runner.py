@@ -20,6 +20,7 @@ from ..clients.web import WebWorkloadConfig
 from ..cluster.deployment import Deployment
 from ..cluster.spec import DeploymentSpec
 from ..invariants import InvariantSuite, InvariantViolation, make_checkers
+from ..lb.katran import KatranConfig
 from ..proxygen.config import ProxygenConfig
 from ..release.orchestrator import RollingRelease, RollingReleaseConfig
 from ..trace import TraceConfig
@@ -73,6 +74,7 @@ def _build_spec(scenario: Scenario) -> DeploymentSpec:
         app_config=AppServerConfig(
             drain_duration=min(3.0, scenario.drain_duration),
             restart_downtime=2.0),
+        katran_config=KatranConfig(lb_scheme=scenario.lb_scheme),
         web_workload=(WebWorkloadConfig(
             clients_per_host=scenario.web_clients,
             post_fraction=scenario.post_fraction,

@@ -45,6 +45,9 @@ class Scenario:
     # -- release behaviour ----------------------------------------------
     drain_duration: float = 4.0
     edge_takeover: bool = True
+    #: L4LB routing policy (repro.lb.routers.ROUTER_SCHEMES) for every
+    #: Katran in the run — the fuzzer exercises all four.
+    lb_scheme: str = "lru"
     #: Release schedule entries: {"tier", "at", "batch_fraction"}.
     releases: list[dict] = field(default_factory=list)
     #: Fault schedule entries: FaultSpec kwargs
@@ -97,7 +100,8 @@ class Scenario:
     def describe(self) -> str:
         bits = [f"seed={self.seed}", f"dur={self.duration:.0f}s",
                 f"edge={self.edge_proxies}", f"origin={self.origin_proxies}",
-                f"app={self.app_servers}", f"faults={len(self.faults)}",
+                f"app={self.app_servers}", f"lb={self.lb_scheme}",
+                f"faults={len(self.faults)}",
                 f"releases={len(self.releases)}"]
         if self.planted:
             bits.append(f"planted={self.planted}")
@@ -169,6 +173,7 @@ def generate_scenario(seed: int, planted: Optional[str] = None) -> Scenario:
         post_fraction=round(rng.uniform(0.05, 0.25), 3),
         drain_duration=round(rng.uniform(3.0, 6.0), 3),
         edge_takeover=rng.random() < 0.85,
+        lb_scheme=rng.choice(("stateless", "stateful", "lru", "concury")),
         planted=planted,
     )
     kinds = sorted(FAULT_KINDS)

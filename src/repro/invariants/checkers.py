@@ -18,7 +18,8 @@ __all__ = ["CHECKERS", "default_checkers", "make_checkers",
            "FdConservationChecker", "ReuseportStabilityChecker",
            "RequestConservationChecker", "PprExactlyOnceChecker",
            "MqttContinuityChecker", "CapacityFloorChecker",
-           "DrainMonotonicityChecker", "BudgetSanityChecker"]
+           "DrainMonotonicityChecker", "BudgetSanityChecker",
+           "LbRoutingGuaranteeChecker"]
 
 
 class FdConservationChecker(InvariantChecker):
@@ -398,6 +399,46 @@ class BudgetSanityChecker(InvariantChecker):
                         state=breaker.state)
 
 
+class LbRoutingGuaranteeChecker(InvariantChecker):
+    """Each L4LB flow router honours its scheme's structural guarantees.
+
+    The guarantees differ by scheme (repro.lb.routers): the stateless
+    router holds no per-flow state by construction; the stateful and LRU
+    routers must never keep a flow pinned to a backend that left the
+    pool; the LRU must respect its capacity bound; Concury's retained
+    version set must stay within its cap and its head version must match
+    the healthy set.  Every router knows how to audit itself
+    (``FlowRouter.check_invariants``); this checker runs those audits on
+    every Katran in the deployment.
+    """
+
+    name = "lb-routing-guarantee"
+
+    def _katrans(self):
+        deployment = self.deployment
+        for attr in ("edge_katran", "origin_katran"):
+            katran = getattr(deployment, attr, None)
+            if katran is not None:
+                yield katran
+        for pop in getattr(deployment, "pops", []) or []:
+            if pop.katran is not None:
+                yield pop.katran
+
+    def sample(self) -> None:
+        self._check()
+
+    def finalize(self) -> None:
+        self._check()
+
+    def _check(self) -> None:
+        for katran in self._katrans():
+            router = katran.router
+            for message in router.check_invariants():
+                self.violation(
+                    f"{katran.name}: [{router.scheme}] {message}",
+                    katran=katran.name, scheme=router.scheme)
+
+
 #: name → class, in reporting order.
 CHECKERS = {
     checker.name: checker
@@ -410,6 +451,7 @@ CHECKERS = {
         CapacityFloorChecker,
         DrainMonotonicityChecker,
         BudgetSanityChecker,
+        LbRoutingGuaranteeChecker,
     )
 }
 

@@ -1,9 +1,13 @@
-"""L4 load balancing: consistent hashing, Katran, ECMP, LRU flow cache."""
+"""L4 load balancing: consistent hashing, Katran, ECMP, flow routers."""
 
 from .consistent_hash import ConsistentHashRing
 from .ecmp import EcmpRouter
 from .katran import BackendState, Katran, KatranConfig
 from .lru import LruConnectionTable
+from .routers import (ROUTER_SCHEMES, ConcuryRouter, FlowRouter,
+                      LruHybridRouter, StatefulRouter, StatelessRouter,
+                      ambient_lb_scheme, clear_ambient_lb_scheme,
+                      make_router, set_ambient_lb_scheme)
 
 __all__ = [
     "ConsistentHashRing",
@@ -12,4 +16,14 @@ __all__ = [
     "Katran",
     "KatranConfig",
     "LruConnectionTable",
+    "ROUTER_SCHEMES",
+    "FlowRouter",
+    "StatelessRouter",
+    "StatefulRouter",
+    "LruHybridRouter",
+    "ConcuryRouter",
+    "make_router",
+    "ambient_lb_scheme",
+    "set_ambient_lb_scheme",
+    "clear_ambient_lb_scheme",
 ]

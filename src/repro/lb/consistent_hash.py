@@ -109,7 +109,10 @@ class ConsistentHashRing(Generic[Node]):
         """The node owning ``key`` (None when the ring is empty)."""
         if not self._points:
             return None
-        key = stable_hash("chash-key", self.salt, *key_parts)
+        # Through _hash so the key lives in the same (possibly reduced)
+        # space as the ring points; a full-width key above every reduced
+        # point would make bisect wrap every lookup to index 0.
+        key = self._hash("chash-key", self.salt, *key_parts)
         index = bisect.bisect_right(self._points, key)
         if index == len(self._points):
             index = 0
@@ -120,7 +123,7 @@ class ConsistentHashRing(Generic[Node]):
         used for fallback picks (e.g. retry a different backend)."""
         if not self._points:
             return []
-        key = stable_hash("chash-key", self.salt, *key_parts)
+        key = self._hash("chash-key", self.salt, *key_parts)
         start = bisect.bisect_right(self._points, key)
         seen: list[Node] = []
         for step in range(len(self._points)):

@@ -6,6 +6,11 @@ onto an L7LB.  It continuously health-checks every L7LB; a backend that
 fails consecutive probes leaves the ring ("the restarted instances are
 removed from Katran table", §6.1.2).  Zero Downtime Restart keeps the
 listener answering throughout, so Katran never notices a release.
+
+The routing policy itself is pluggable (``KatranConfig.lb_scheme``, see
+:mod:`repro.lb.routers`): the paper's bounded-LRU hybrid is the default,
+with pure-stateless, fully-stateful, and Concury-style versioned routers
+available for the design-space ablation.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from ..netsim.host import Host
 from ..netsim.proc_utils import TIMED_OUT, with_timeout
 from ..netsim.process import SimProcess
 from .consistent_hash import ConsistentHashRing
-from .lru import LruConnectionTable
+from .routers import ROUTER_SCHEMES, FlowRouter, make_router
 
 __all__ = ["Katran", "KatranConfig", "BackendState"]
 
@@ -37,6 +42,23 @@ class KatranConfig:
     use_lru: bool = True
     lru_capacity: int = 100_000
     hash_replicas: int = 50
+    #: Routing policy (see repro.lb.routers.ROUTER_SCHEMES).  None keeps
+    #: the historical behaviour: "lru" when use_lru else "stateless".
+    lb_scheme: Optional[str] = None
+    #: Idle expiry for per-flow state (stateful table entries, Concury
+    #: version stamps).
+    flow_ttl: float = 60.0
+    #: Retained routing versions for the Concury scheme.
+    concury_max_versions: int = 8
+
+    def resolved_scheme(self) -> str:
+        scheme = self.lb_scheme
+        if scheme is None:
+            return "lru" if self.use_lru else "stateless"
+        if scheme not in ROUTER_SCHEMES:
+            raise ValueError(f"unknown lb scheme {scheme!r}; "
+                             f"available: {ROUTER_SCHEMES}")
+        return scheme
 
 
 class BackendState:
@@ -53,6 +75,8 @@ class BackendState:
         self.healthy = True
         self.consecutive_failures = 0
         self.consecutive_successes = 0
+        #: Set by Katran.remove_backend; its health-check loop exits.
+        self.decommissioned = False
 
     def __repr__(self) -> str:
         state = "up" if self.healthy else "down"
@@ -72,13 +96,18 @@ class Katran:
         #: to each backend host); otherwise probe host:hc_port directly.
         self.hc_vip = hc_vip
         self.hc_port = hc_port
-        self.ring: ConsistentHashRing[str] = ConsistentHashRing(
+        self.counters = host.metrics.scoped_counters(f"{name}@{host.name}")
+        ring: ConsistentHashRing[str] = ConsistentHashRing(
             replicas=self.config.hash_replicas,
             salt=host.reuseport_salt)
+        self.router: FlowRouter = make_router(
+            self.config.resolved_scheme(), ring,
+            counters=self.counters,
+            clock=lambda: host.env.now,
+            lru_capacity=self.config.lru_capacity,
+            flow_ttl=self.config.flow_ttl,
+            concury_max_versions=self.config.concury_max_versions)
         self.backends: dict[str, BackendState] = {}
-        self.lru: LruConnectionTable[tuple, str] = LruConnectionTable(
-            self.config.lru_capacity)
-        self.counters = host.metrics.scoped_counters(f"{name}@{host.name}")
         #: Fault-injection hook (repro.faults "hc_flap"): backend ip →
         #: probability that an otherwise-successful probe is reported as
         #: failed, reproducing the §5.1 health-check flap incidents.
@@ -88,13 +117,39 @@ class Katran:
         for backend in backends:
             self.add_backend(backend)
 
+    @property
+    def ring(self) -> ConsistentHashRing:
+        return self.router.ring
+
+    @property
+    def lru(self):
+        """The LRU table when the active scheme has one, else None."""
+        return getattr(self.router, "lru", None)
+
     # -- membership ------------------------------------------------------------
 
     def add_backend(self, backend_host: Host) -> None:
         hc_endpoint = self.hc_vip or Endpoint(backend_host.ip, self.hc_port)
         state = BackendState(backend_host, hc_endpoint)
         self.backends[backend_host.ip] = state
-        self.ring.add(backend_host.ip)
+        self.router.backend_added(backend_host.ip)
+        if self._process is not None and self._process.alive:
+            self._process.run(self._health_check_loop(self._process, state))
+
+    def remove_backend(self, ip: str) -> None:
+        """Decommission: the backend left the pool permanently.
+
+        Unlike a health-check "down" (temporary — flows stay pinned so
+        they survive the flap, §5.1), decommission drops every trace:
+        ring membership, per-flow state pinned to it, and its
+        health-check loop.
+        """
+        state = self.backends.pop(ip, None)
+        if state is None:
+            return
+        state.decommissioned = True
+        self.router.backend_removed(ip)
+        self.counters.inc("backend_removed")
 
     def healthy_backends(self) -> list[str]:
         return [ip for ip, b in self.backends.items() if b.healthy]
@@ -106,7 +161,7 @@ class Katran:
             if (not state.healthy
                     and state.consecutive_successes >= self.config.up_threshold):
                 state.healthy = True
-                self.ring.add(state.host.ip)
+                self.router.backend_up(state.host.ip)
                 self.counters.inc("backend_up")
         else:
             state.consecutive_failures += 1
@@ -114,7 +169,7 @@ class Katran:
             if (state.healthy
                     and state.consecutive_failures >= self.config.down_threshold):
                 state.healthy = False
-                self.ring.remove(state.host.ip)
+                self.router.backend_down(state.host.ip)
                 self.counters.inc("backend_down")
 
     # -- routing -----------------------------------------------------------------
@@ -122,28 +177,15 @@ class Katran:
     def route(self, flow: FourTuple) -> Optional[str]:
         """The backend host IP for this flow (None when pool is empty).
 
-        With the LRU enabled, a flow that was recently routed sticks to
-        its backend as long as that backend is healthy — absorbing ring
-        shuffles caused by health-check flaps (§5.1).
+        What "recently routed flows stick to their backend" means is the
+        active router's policy — see :mod:`repro.lb.routers`.
         """
         key = (flow.protocol.value, flow.src, flow.dst)
-        if self.config.use_lru:
-            cached = self.lru.get(key)
-            if cached is not None and cached in self.backends:
-                # Pin the flow to its backend even through momentary
-                # health flaps — the whole point of the table (§5.1).
-                # If the backend is truly gone, the flow's packets fail
-                # at the backend, exactly as in production.
-                self.counters.inc("route_lru_hit")
-                return cached
-        choice = self.ring.lookup(*key)
-        if choice is None:
-            self.counters.inc("route_no_backend")
-            return None
-        if self.config.use_lru:
-            self.lru.put(key, choice)
-        self.counters.inc("route_hash")
-        return choice
+        return self.router.route(key)
+
+    def flow_done(self, flow: FourTuple) -> None:
+        """Tell the router this flow closed (explicit state expiry)."""
+        self.router.flow_done((flow.protocol.value, flow.src, flow.dst))
 
     # -- health checking -------------------------------------------------------------
 
@@ -155,16 +197,19 @@ class Katran:
 
     def _health_check_loop(self, process: SimProcess, state: BackendState):
         config = self.config
-        kernel = self.host.kernel
         # De-synchronize probe phases across backends.
         yield self.host.env.timeout(
             self.host.streams.stream("hc-phase").uniform(0, config.hc_interval))
-        while process.alive:
+        while process.alive and not state.decommissioned:
             healthy = yield from self._probe(process, state)
             forced = self.forced_probe_failure.get(state.host.ip, 0.0)
             if healthy and forced > 0 and self._fault_rng.random() < forced:
                 healthy = False
                 self.counters.inc("hc_probe_forced_fail")
+            if state.decommissioned:
+                # Decommissioned while the probe was in flight: the
+                # backend is out of the pool; don't resurrect its state.
+                return
             self._mark(state, healthy)
             self.counters.inc("hc_probe", tag="ok" if healthy else "fail")
             yield self.host.env.timeout(config.hc_interval)
@@ -179,9 +224,15 @@ class Katran:
         except ConnectionRefusedSim:
             return False
         if outcome is TIMED_OUT or outcome is None:
-            # If the handshake completes after we gave up, close the
-            # stray connection instead of leaking it at the backend.
-            if not attempt.triggered and attempt.callbacks is not None:
+            if attempt.triggered:
+                # The handshake completed on the very tick the timeout
+                # fired: with_timeout reports TIMED_OUT, but the
+                # connection is established — close it, don't leak it.
+                if attempt._ok:
+                    attempt._value.close()
+            elif attempt.callbacks is not None:
+                # If the handshake completes after we gave up, close the
+                # stray connection instead of leaking it at the backend.
                 attempt.callbacks.append(
                     lambda ev: ev._value.close() if ev._ok else None)
             return False

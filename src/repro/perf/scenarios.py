@@ -194,6 +194,47 @@ def trace_spans(env_factory: Callable, scale: float) -> dict:
     return {"ops": n, "events": 0}
 
 
+def _lb_pick(scheme: str) -> Callable[[Callable, float], dict]:
+    """Pick-throughput bench for one flow-router scheme (repro.lb).
+
+    Drives the router directly — no simulation runs, so these are
+    kernel-insensitive — through a deterministic mix of picks over a
+    recycled key population with periodic membership flaps, the regime
+    the lb-ablation experiment measures misrouting in.  The wall-clock
+    ops/sec here complements the ablation's deterministic cost model.
+    """
+
+    def bench(env_factory: Callable, scale: float) -> dict:
+        from ..lb.consistent_hash import ConsistentHashRing
+        from ..lb.routers import make_router
+
+        clock = [0.0]
+        ring = ConsistentHashRing(replicas=50, salt=11)
+        router = make_router(scheme, ring, clock=lambda: clock[0],
+                             lru_capacity=4096, flow_ttl=60.0,
+                             concury_max_versions=8)
+        backends = [f"10.8.0.{i + 1}" for i in range(12)]
+        for ip in backends:
+            router.backend_added(ip)
+        keys = [("tcp", ("1.1.1.1", 1024 + i), ("100.64.0.1", 443))
+                for i in range(5000)]
+        n = int(60_000 * scale)
+        routed = 0
+        for i in range(n):
+            if i % 2000 == 1999:
+                victim = backends[(i // 2000) % len(backends)]
+                router.backend_down(victim)
+                router.backend_up(victim)
+                clock[0] += 0.5
+            if router.route(keys[i % len(keys)]) is not None:
+                routed += 1
+        assert routed == n
+        return {"ops": n, "events": 0}
+
+    bench.__name__ = f"lb_pick_{scheme}"
+    return bench
+
+
 # -- macro: scaled-up figure experiments -------------------------------------
 
 def _macro_deployment(env_factory: Callable, *, edge_proxies: int,
@@ -293,6 +334,14 @@ MICRO_SCENARIOS: list[Scenario] = [
     Scenario("trace_spans", "micro", trace_spans,
              kernel_sensitive=False, repeat=3),
     Scenario("reuseport_dispatch", "micro", reuseport_dispatch, repeat=2),
+    Scenario("lb_pick_stateless", "micro", _lb_pick("stateless"),
+             kernel_sensitive=False, repeat=2),
+    Scenario("lb_pick_stateful", "micro", _lb_pick("stateful"),
+             kernel_sensitive=False, repeat=2),
+    Scenario("lb_pick_lru", "micro", _lb_pick("lru"),
+             kernel_sensitive=False, repeat=2),
+    Scenario("lb_pick_concury", "micro", _lb_pick("concury"),
+             kernel_sensitive=False, repeat=2),
 ]
 
 MACRO_SCENARIOS: list[Scenario] = [

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig11_ppr,
     fig15_release_hours,
     fig16_completion_time,
+    lb_ablation,
 )
 
 
@@ -25,7 +26,7 @@ def test_registry_covers_every_figure():
     expected = {"chaos", "resilience", "fig02", "fig02d", "fig03",
                 "fig08", "fig09",
                 "fig10", "fig11", "fig12", "fig13", "fig15", "fig16",
-                "fig17"}
+                "fig17", "lbablation"}
     assert set(ALL_EXPERIMENTS) == expected
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run")
@@ -93,6 +94,29 @@ def test_fig11_small():
     result = fig11_ppr.run(seed=6, restarts=3)
     assert result.scalars["ppr_rescued_total"] >= 1
     assert result.scalars["ppr_client_post_errors"] == 0
+
+
+def test_lb_ablation_small_claims_hold():
+    result = lb_ablation.run(seed=5, backends=6, flows=200,
+                             churn_rounds=2, release_batches=3)
+    assert result.all_claims_hold
+    # The schemes separate even at reduced scale: only stateless
+    # misroutes under churn, and only instance-local state suffers
+    # across a takeover.
+    assert result.scalars["misroutes_stateless"] > 0
+    for scheme in ("stateful", "lru", "concury"):
+        assert result.scalars[f"misroutes_{scheme}"] == 0
+    assert result.scalars["failovers_takeover_concury"] == 0
+    assert result.scalars["failovers_takeover_lru"] > 0
+
+
+def test_lb_ablation_deterministic():
+    a = lb_ablation.run(seed=7, backends=5, flows=120,
+                        churn_rounds=1, release_batches=2)
+    b = lb_ablation.run(seed=7, backends=5, flows=120,
+                        churn_rounds=1, release_batches=2)
+    assert a.scalars == b.scalars
+    assert a.claims == b.claims
 
 
 def test_fig15_claims_hold_small():

@@ -20,7 +20,7 @@ from repro.release.orchestrator import RollingRelease, RollingReleaseConfig
 EXPECTED_CHECKERS = {
     "fd-conservation", "reuseport-stability", "request-conservation",
     "ppr-exactly-once", "mqtt-continuity", "capacity-floor",
-    "drain-monotonicity", "retry-budget-sanity",
+    "drain-monotonicity", "retry-budget-sanity", "lb-routing-guarantee",
 }
 
 
@@ -49,7 +49,7 @@ def _takeover_scenario(**overrides):
 # -- registry ----------------------------------------------------------------
 
 
-def test_registry_has_the_eight_checkers():
+def test_registry_has_the_nine_checkers():
     assert set(CHECKERS) == EXPECTED_CHECKERS
 
 

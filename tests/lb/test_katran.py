@@ -138,6 +138,70 @@ def test_without_lru_flap_remaps_flows(world):
     assert moved == sum(1 for f in flows if before[f] == victim_ip) > 0
 
 
+def test_probe_completing_on_timeout_tick_is_closed(world):
+    """Regression: when the handshake completed on the very tick the
+    probe timeout fired, ``with_timeout`` reported TIMED_OUT but the
+    attempt event had already triggered — the close-on-late-completion
+    callback was never attached and the established connection leaked,
+    one per probe, forever.
+
+    The race needs hc_timeout == exactly one handshake RTT (2 × the
+    1ms test link latency) so both events land on the same tick.
+    """
+    backends, _, kh = _pool(world, count=1)
+    fd_before = [p.fd_table.live_count()
+                 for p in backends[0].live_processes()]
+    katran = Katran(kh, backends, hc_port=443,
+                    config=KatranConfig(hc_interval=0.5, hc_timeout=0.002))
+    proc = kh.spawn("katran")
+    katran.start(proc)
+    world.env.run(until=20)
+    assert katran.counters.get("hc_probe", tag="fail") > 0  # race was hit
+    # Every probe connection must be closed again: nothing may accrete
+    # on the prober...
+    assert proc.connection_count == 0
+    # ...and the backend gains no lingering FDs either.
+    assert [p.fd_table.live_count()
+            for p in backends[0].live_processes()] == fd_before
+
+
+def test_remove_backend_decommissions_for_good(world):
+    backends, _, kh = _pool(world, count=4)
+    katran = Katran(kh, backends, hc_port=443,
+                    config=KatranConfig(hc_interval=0.5))
+    proc = kh.spawn("katran")
+    katran.start(proc)
+    world.env.run(until=3)
+    flows = [_flow(p) for p in range(5000, 5400)]
+    before = {f: katran.route(f) for f in flows}
+    victim = before[flows[0]]
+    state = katran.backends[victim]
+    probes_at_removal = katran.counters.get("hc_probe", tag="ok")
+    successes_at_removal = state.consecutive_successes
+    katran.remove_backend(victim)
+    # All traces gone: membership, ring share, LRU pins.
+    assert victim not in katran.backends
+    assert victim not in katran.ring
+    assert state.decommissioned
+    assert katran.lru.invalidate_value(victim) == 0  # already purged
+    assert victim not in {katran.route(f) for f in flows}
+    # Its health-check loop stops: ten more seconds of probing covers
+    # only the three remaining backends (20 probes each).
+    world.env.run(until=13)
+    grown = katran.counters.get("hc_probe", tag="ok") - probes_at_removal
+    assert grown <= 3 * 20 + 3
+    # No post-removal marking, even from a probe in flight at removal.
+    assert state.consecutive_successes == successes_at_removal
+    assert victim not in katran.healthy_backends()
+
+
+def test_remove_absent_backend_is_noop(world):
+    backends, _, kh = _pool(world, count=2)
+    katran = Katran(kh, backends, hc_port=443)
+    katran.remove_backend("10.99.99.99")
+    assert len(katran.backends) == 2
+
+
 def test_lru_connection_table_basics():
     lru = LruConnectionTable(capacity=2)
     lru.put("a", 1)
