@@ -165,6 +165,35 @@ class AppServer:
         self._boot_process()
         self.counters.inc("restart_finished")
 
+    def decommission(self):
+        """Generator: drain and leave the fleet permanently (scale-in).
+
+        Same drain discipline as :meth:`restart` — in-flight POSTs get
+        their 379/500 — but no new generation boots afterwards: the
+        machine is simply retired.  The caller (repro.ops.autoscale)
+        removes it from the pool *before* draining, so no new work
+        arrives while connections finish.
+        """
+        if self.state != self.STATE_ACTIVE:
+            return
+        env = self.host.env
+        self.state = self.STATE_DRAINING
+        self.drain_started_at = env.now
+        self.listener.pause_accepting()
+        self.counters.inc("decommission_started")
+        yield env.timeout(self.config.drain_duration)
+        for post in list(self.in_flight_posts.values()):
+            if post.conn.alive:
+                if self.config.enable_ppr:
+                    self._reply_partial_post(post)
+                else:
+                    self._reply_error(post)
+        self.in_flight_posts.clear()
+        old = self.process
+        self.state = self.STATE_DOWN
+        old.exit("decommission")
+        self.counters.inc("decommissioned")
+
     def crash(self) -> None:
         """Fault path: the machine dies *now* — no drain, no 379s.
 

@@ -43,6 +43,21 @@ class AppServerPool:
     def add(self, server: AppServer) -> None:
         self.servers.append(server)
 
+    def remove(self, server: AppServer) -> bool:
+        """Drop ``server`` from membership (autoscaler scale-in).
+
+        The round-robin cursor is clamped so the rotation resumes at the
+        same neighbourhood instead of skipping over survivors.
+        """
+        try:
+            index = self.servers.index(server)
+        except ValueError:
+            return False
+        del self.servers[index]
+        if self._rr > index:
+            self._rr -= 1
+        return True
+
     def attach_health(self, tracker: "OutlierTracker") -> None:
         """Enable passive health tracking / outlier ejection."""
         self.health = tracker

@@ -65,6 +65,12 @@ class MqttClientPopulation:
         self.name = name
         self.counters = metrics.scoped_counters(name)
         self._next_user = first_user_id
+        #: Arrival-rate multiplier (repro.ops.load): publish pacing is
+        #: divided by this — one attribute read per publish.
+        self.rate_scale = 1.0
+
+    def set_rate_scale(self, scale: float) -> None:
+        self.rate_scale = max(0.01, scale)
 
     def start(self) -> None:
         for host in self.hosts:
@@ -162,7 +168,8 @@ class MqttClientPopulation:
         env = base.host.env
         config = self.config
         seq = 0
-        next_publish = env.now + sampler.exponential(config.publish_interval)
+        next_publish = env.now + (sampler.exponential(config.publish_interval)
+                                  / self.rate_scale)
         next_ping = env.now + config.ping_interval
         while conn.alive:
             wake = min(next_publish, next_ping)
@@ -177,8 +184,8 @@ class MqttClientPopulation:
                         self.counters.inc("publishes_sent")
                         self.metrics.series("mqtt/client_publish").record(
                             env.now)
-                        next_publish = env.now + sampler.exponential(
-                            config.publish_interval)
+                        next_publish = env.now + (sampler.exponential(
+                            config.publish_interval) / self.rate_scale)
                     if env.now >= next_ping:
                         conn.send(MqttPingReq(user_id), size=16)
                         next_ping = env.now + config.ping_interval

@@ -53,6 +53,12 @@ class QuicClientPopulation:
         self.name = name
         self.counters = metrics.scoped_counters(name)
         self._serial = 0
+        #: Arrival-rate multiplier (repro.ops.load): packet pacing is
+        #: divided by this — one attribute read per packet.
+        self.rate_scale = 1.0
+
+    def set_rate_scale(self, scale: float) -> None:
+        self.rate_scale = max(0.01, scale)
 
     def start(self) -> None:
         for host in self.hosts:
@@ -112,7 +118,7 @@ class QuicClientPopulation:
                     consecutive_losses = 0
                     self.counters.inc("connections_reestablished")
                     self.metrics.series("quic/reconnects").record(env.now)
-            yield env.timeout(config.packet_interval)
+            yield env.timeout(config.packet_interval / self.rate_scale)
 
     def _draw_connection_length(self, sampler: DistributionSampler):
         mean = self.config.mean_packets_per_connection

@@ -75,6 +75,13 @@ class WebClientPopulation:
         #: counter, per kind — the request-conservation invariant's
         #: balancing term.
         self.inflight: dict[str, int] = {"get": 0, "post": 0}
+        #: Arrival-rate multiplier (repro.ops.load): think time is
+        #: divided by this, so the per-request hot path pays a single
+        #: attribute read whether or not a load shape is active.
+        self.rate_scale = 1.0
+
+    def set_rate_scale(self, scale: float) -> None:
+        self.rate_scale = max(0.01, scale)
 
     def start(self) -> None:
         """Spawn every client's driver process."""
@@ -102,7 +109,8 @@ class WebClientPopulation:
                     yield env.timeout(config.reconnect_backoff
                                       + sampler.uniform(0, 1))
                     continue
-            yield env.timeout(sampler.exponential(config.think_time))
+            yield env.timeout(sampler.exponential(config.think_time)
+                              / self.rate_scale)
             if not conn.alive:
                 continue
             kind = "post" if sampler.bernoulli(config.post_fraction) else "get"

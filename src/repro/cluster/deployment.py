@@ -25,6 +25,7 @@ from ..lb.katran import Katran
 from ..lb.routers import ambient_lb_scheme
 from ..metrics.registry import MetricsRegistry
 from ..netsim.addresses import Endpoint, Protocol, VIP
+from ..ops.load import LoadController, LoadShape, ambient_load_shape
 from ..netsim.host import Host
 from ..netsim.network import (
     EDGE_ORIGIN,
@@ -86,6 +87,12 @@ class Deployment:
         self.mqtt_clients: Optional[MqttClientPopulation] = None
         self.quic_clients: Optional[QuicClientPopulation] = None
 
+        #: Autoscalers attached to this deployment (repro.ops.autoscale)
+        #: — the autoscaler-discipline invariant checker audits these.
+        self.autoscalers: list = []
+        #: Drives client arrival rates when a load shape is configured.
+        self.load_controller: Optional[LoadController] = None
+
         self._build()
 
     # -- host factory ------------------------------------------------------
@@ -135,6 +142,10 @@ class Deployment:
         app_config = spec.app_config
         if ambient is not None:
             app_config = with_ambient(app_config or AppServerConfig())
+        #: Kept for dynamic scale-out (repro.ops.autoscale): servers
+        #: added later must match the fleet they join.
+        self._app_config = app_config
+        self._app_serial = spec.app_servers
         for i in range(spec.app_servers):
             host = self._host(f"appserver-{i}", "origin",
                               spec.app_cores, spec.app_core_speed)
@@ -184,6 +195,11 @@ class Deployment:
         edge_context = ProxyTierContext(
             origin_vip=origin_vip,
             origin_router=lambda flow: self.origin_katran.route(flow))
+        # Kept for dynamic scale-out of the edge tier.
+        self._edge_context = edge_context
+        self._edge_vips = edge_vips
+        self._edge_config = with_ambient(spec.resolved_edge_config())
+        self._edge_serial = spec.edge_proxies
         for i in range(spec.edge_proxies):
             host = self._host(f"edge-proxy-{i}", "edge",
                               spec.proxy_cores, spec.proxy_core_speed)
@@ -227,6 +243,82 @@ class Deployment:
                 hosts, Endpoint(spec.edge_vip_ip, spec.https_port),
                 edge_route, self.metrics, spec.quic_workload)
 
+        # Load shape (repro.ops.load): the spec's own shape wins; the
+        # ambient one (the CLI's ``--load-shape``) applies otherwise.
+        load_shape = spec.load_shape
+        if load_shape is None:
+            load_shape = ambient_load_shape()
+        if load_shape is not None:
+            self.load_controller = LoadController(
+                self.env, LoadShape(load_shape),
+                [self.web_clients, self.mqtt_clients, self.quic_clients],
+                metrics=self.metrics)
+
+    # -- dynamic membership (repro.ops.autoscale) ----------------------------
+
+    def grow_app_server(self) -> AppServer:
+        """Add one app server to the live fleet (autoscaler scale-out)."""
+        spec = self.spec
+        name = f"appserver-{self._app_serial}"
+        self._app_serial += 1
+        host = self._host(name, "origin", spec.app_cores,
+                          spec.app_core_speed)
+        server = AppServer(host, self._app_config)
+        if self.invariant_suite is not None:
+            server.invariant_tap = self.invariant_suite
+        self.app_hosts.append(host)
+        self.app_servers.append(server)
+        self.app_pool.add(server)
+        server.start()
+        return server
+
+    def retire_app_server(self, server: AppServer):
+        """Generator: drain one app server out of the fleet permanently.
+
+        Membership is dropped *first* so no new work is routed to the
+        draining machine — the drain only has to see out what is
+        already in flight.
+        """
+        self.app_pool.remove(server)
+        if server in self.app_servers:
+            self.app_servers.remove(server)
+        if server.host in self.app_hosts:
+            self.app_hosts.remove(server.host)
+        yield from server.decommission()
+
+    def grow_edge_proxy(self):
+        """Generator: boot one new edge proxy and join the Katran pool."""
+        spec = self.spec
+        name = f"edge-proxy-{self._edge_serial}"
+        self._edge_serial += 1
+        host = self._host(name, "edge", spec.proxy_cores,
+                          spec.proxy_core_speed)
+        server = ProxygenServer(
+            host, self._edge_config, self._edge_context,
+            vips=[VIP(v.name, v.endpoint, v.protocol)
+                  for v in self._edge_vips])
+        if self.invariant_suite is not None:
+            server.invariant_tap = self.invariant_suite
+        self.edge_hosts.append(host)
+        self.edge_servers.append(server)
+        yield from server.start()
+        # Only a *serving* backend may enter the ring (Katran would
+        # health-check it out again, but the window would misroute).
+        self.edge_katran.add_backend(host)
+        return server
+
+    def retire_edge_proxy(self, server: ProxygenServer):
+        """Generator: drain one edge proxy out of the pool permanently."""
+        self.edge_katran.remove_backend(server.host.ip)
+        if server in self.edge_servers:
+            self.edge_servers.remove(server)
+        if server.host in self.edge_hosts:
+            self.edge_hosts.remove(server.host)
+        instance = server.active_instance
+        if instance is not None and instance.alive:
+            instance.begin_drain(reason="decommission")
+            yield instance.exited_event
+
     # -- start ---------------------------------------------------------------
 
     def start(self):
@@ -257,6 +349,8 @@ class Deployment:
             self.mqtt_clients.start()
         if self.quic_clients is not None:
             self.quic_clients.start()
+        if self.load_controller is not None:
+            self.load_controller.start()
 
     def run(self, until: float) -> None:
         """Advance the simulation to time ``until``."""

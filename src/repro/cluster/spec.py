@@ -11,6 +11,7 @@ from ..clients.mqtt import MqttWorkloadConfig
 from ..clients.quic import QuicWorkloadConfig
 from ..clients.web import WebWorkloadConfig
 from ..lb.katran import KatranConfig
+from ..ops.load import LoadShapeConfig
 from ..proxygen.config import ProxygenConfig
 
 __all__ = ["DeploymentSpec"]
@@ -61,6 +62,10 @@ class DeploymentSpec:
     #: L4LB routing policy (repro.lb.routers.ROUTER_SCHEMES); None keeps
     #: katran_config's own scheme (historically the LRU hybrid).
     lb_scheme: Optional[str] = None
+    #: Client arrival-rate shape over the run (repro.ops.load); None
+    #: keeps the historical constant-rate behaviour (or the ambient
+    #: shape set by the CLI's ``--load-shape``).
+    load_shape: Optional[LoadShapeConfig] = None
 
     # Workloads (None → population not started)
     web_workload: Optional[WebWorkloadConfig] = field(

@@ -21,6 +21,7 @@ from . import fig15_release_hours
 from . import fig16_completion_time
 from . import fig17_takeover_overhead
 from . import lb_ablation
+from . import ops_closed_loop
 from .common import ExperimentResult
 
 ALL_EXPERIMENTS = {
@@ -39,6 +40,7 @@ ALL_EXPERIMENTS = {
     "fig16": fig16_completion_time,
     "fig17": fig17_takeover_overhead,
     "lbablation": lb_ablation,
+    "opsloop": ops_closed_loop,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

@@ -26,6 +26,10 @@ from ..invariants import runtime as invariant_runtime
 from ..lb.routers import ROUTER_SCHEMES, clear_ambient_lb_scheme, \
     set_ambient_lb_scheme
 from ..metrics.report import render_faults, render_series
+from ..ops import CanaryConfig, CanaryController, LOAD_SHAPE_KINDS, \
+    clear_ambient_load_shape, named_load_shape, set_ambient_load_shape
+from ..release.orchestrator import clear_ambient_release_gate, \
+    set_ambient_release_gate
 from ..resilience import ResilienceConfig, clear_ambient_resilience, \
     set_ambient_resilience
 from ..trace import runtime as trace_runtime
@@ -57,6 +61,17 @@ def main(argv=None) -> int:
                         default=None,
                         help="L4LB flow-routing policy for every Katran "
                              "built (default: the paper's LRU hybrid)")
+    parser.add_argument("--load-shape", choices=list(LOAD_SHAPE_KINDS),
+                        default=None,
+                        help="modulate every deployment's client arrival "
+                             "rates with this load shape (repro.ops)")
+    parser.add_argument("--load-horizon", type=float, default=60.0,
+                        help="with --load-shape: sim seconds the shape's "
+                             "timings are scaled to")
+    parser.add_argument("--canary", action="store_true",
+                        help="gate every rolling release behind canary "
+                             "analysis (repro.ops.canary) with default "
+                             "judgment settings")
     parser.add_argument("--trace", action="store_true",
                         help="trace sampled requests end to end and print "
                              "the most interesting span trees")
@@ -89,6 +104,14 @@ def main(argv=None) -> int:
 
     if args.lb_scheme is not None:
         set_ambient_lb_scheme(args.lb_scheme)
+
+    if args.load_shape is not None:
+        set_ambient_load_shape(
+            named_load_shape(args.load_shape, args.load_horizon))
+
+    if args.canary:
+        set_ambient_release_gate(
+            lambda release: CanaryController(release.env, CanaryConfig()))
 
     if args.trace:
         trace_runtime.set_ambient_trace()
@@ -141,6 +164,8 @@ def main(argv=None) -> int:
         clear_ambient_plan()
         clear_ambient_resilience()
         clear_ambient_lb_scheme()
+        clear_ambient_load_shape()
+        clear_ambient_release_gate()
         trace_runtime.clear_ambient_trace()
         trace_runtime.drain()
         invariant_runtime.drain()  # reset registry for in-process callers

@@ -21,6 +21,7 @@ from ..cluster.deployment import Deployment
 from ..cluster.spec import DeploymentSpec
 from ..invariants import InvariantSuite, InvariantViolation, make_checkers
 from ..lb.katran import KatranConfig
+from ..ops.load import named_load_shape
 from ..proxygen.config import ProxygenConfig
 from ..release.orchestrator import RollingRelease, RollingReleaseConfig
 from ..trace import TraceConfig
@@ -75,6 +76,9 @@ def _build_spec(scenario: Scenario) -> DeploymentSpec:
             drain_duration=min(3.0, scenario.drain_duration),
             restart_downtime=2.0),
         katran_config=KatranConfig(lb_scheme=scenario.lb_scheme),
+        load_shape=(named_load_shape(scenario.load_shape,
+                                     scenario.duration)
+                    if scenario.load_shape else None),
         web_workload=(WebWorkloadConfig(
             clients_per_host=scenario.web_clients,
             post_fraction=scenario.post_fraction,

@@ -56,6 +56,9 @@ class Scenario:
     #: Name of a deliberately-planted code fault (repro.fuzz.planted)
     #: active for this run; None for honest runs.
     planted: Optional[str] = None
+    #: Load shape (repro.ops.load.LOAD_SHAPE_KINDS) modulating client
+    #: arrival rates, scaled to the run's duration; None = constant.
+    load_shape: Optional[str] = None
 
     # -- serialization ---------------------------------------------------
 
@@ -182,6 +185,10 @@ def generate_scenario(seed: int, planted: Optional[str] = None) -> Scenario:
             _fault_entry(rng, rng.choice(kinds), duration))
     for _ in range(rng.randint(0, 2)):
         scenario.releases.append(_release_entry(rng, duration))
+    # Half the runs modulate arrival rates with a load shape, so the
+    # invariants also hold under diurnal swings / flash crowds / herds.
+    scenario.load_shape = rng.choice(
+        (None, None, None, "diurnal", "flash_crowd", "post_outage_herd"))
     if not scenario.faults and not scenario.releases:
         # An idle run proves nothing about the release machinery.
         scenario.releases.append(_release_entry(rng, duration))

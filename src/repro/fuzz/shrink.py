@@ -99,6 +99,16 @@ def _shrink_sizes(scenario: Scenario, probe: _Probe) -> Scenario:
     return scenario
 
 
+def _drop_load_shape(scenario: Scenario, probe: _Probe) -> Scenario:
+    """Try constant-rate clients: a repro without the shape is simpler."""
+    if scenario.load_shape is None or probe.exhausted:
+        return scenario
+    candidate = replace(scenario, load_shape=None)
+    if probe.still_fails(candidate):
+        return candidate
+    return scenario
+
+
 def _shorten_duration(scenario: Scenario, probe: _Probe) -> Scenario:
     """Cut the horizon while the violation still fits inside it."""
     floor = 1.0 + max(
@@ -139,6 +149,7 @@ def shrink(scenario: Scenario,
         before = scenario.to_json()
         scenario = _drop_entries(scenario, "faults", probe)
         scenario = _drop_entries(scenario, "releases", probe)
+        scenario = _drop_load_shape(scenario, probe)
         scenario = _shrink_sizes(scenario, probe)
         scenario = _shorten_duration(scenario, probe)
         if scenario.to_json() == before:

@@ -19,7 +19,7 @@ __all__ = ["CHECKERS", "default_checkers", "make_checkers",
            "RequestConservationChecker", "PprExactlyOnceChecker",
            "MqttContinuityChecker", "CapacityFloorChecker",
            "DrainMonotonicityChecker", "BudgetSanityChecker",
-           "LbRoutingGuaranteeChecker"]
+           "LbRoutingGuaranteeChecker", "AutoscalerDisciplineChecker"]
 
 
 class FdConservationChecker(InvariantChecker):
@@ -439,6 +439,63 @@ class LbRoutingGuaranteeChecker(InvariantChecker):
                     katran=katran.name, scheme=router.scheme)
 
 
+class AutoscalerDisciplineChecker(InvariantChecker):
+    """The autoscaler (repro.ops.autoscale) scales safely.
+
+    Three claims: (1) scale-in never targets a machine that was not
+    actively serving when nominated — retiring a draining or dead
+    instance would double-drain it; (2) no decision moves a pool past
+    its configured [min_size, max_size] bounds; (3) at every quiescent
+    point each autoscaled pool actually sits inside those bounds (the
+    capacity floor holds continuously, not just at decision time).
+    A deployment with no autoscalers attached trivially satisfies all
+    three.
+    """
+
+    name = "autoscaler-discipline"
+
+    def on_event(self, event: str, **fields) -> None:
+        if event == "autoscale_in":
+            if fields.get("target_state") != "active":
+                self.violation(
+                    f"{fields['pool']}: scale-in nominated "
+                    f"{getattr(fields.get('target'), 'name', '?')} in "
+                    f"state {fields.get('target_state')!r} (must be "
+                    f"actively serving)",
+                    pool=fields["pool"],
+                    target_state=fields.get("target_state"))
+            if fields["size_after"] < fields["min_size"]:
+                self.violation(
+                    f"{fields['pool']}: scale-in below capacity floor "
+                    f"({fields['size_after']} < min {fields['min_size']})",
+                    pool=fields["pool"], size=fields["size_after"],
+                    min_size=fields["min_size"])
+        elif event == "autoscale_out":
+            if fields["size_after"] > fields["max_size"]:
+                self.violation(
+                    f"{fields['pool']}: scale-out above bound "
+                    f"({fields['size_after']} > max {fields['max_size']})",
+                    pool=fields["pool"], size=fields["size_after"],
+                    max_size=fields["max_size"])
+
+    def sample(self) -> None:
+        self._check_bounds()
+
+    def finalize(self) -> None:
+        self._check_bounds()
+
+    def _check_bounds(self) -> None:
+        for scaler in getattr(self.deployment, "autoscalers", []) or []:
+            size = scaler.adapter.size()
+            config = scaler.config
+            if not config.min_size <= size <= config.max_size:
+                self.violation(
+                    f"{scaler.name}: pool size {size} outside "
+                    f"[{config.min_size}, {config.max_size}]",
+                    autoscaler=scaler.name, size=size,
+                    min_size=config.min_size, max_size=config.max_size)
+
+
 #: name → class, in reporting order.
 CHECKERS = {
     checker.name: checker
@@ -452,6 +509,7 @@ CHECKERS = {
         DrainMonotonicityChecker,
         BudgetSanityChecker,
         LbRoutingGuaranteeChecker,
+        AutoscalerDisciplineChecker,
     )
 }
 

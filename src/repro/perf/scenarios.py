@@ -324,6 +324,50 @@ def fig08_capacity(env_factory: Callable, scale: float) -> dict:
     return {"ops": events, "events": events}
 
 
+def load_shape_sample(env_factory: Callable, scale: float) -> dict:
+    """Ops control plane: ``LoadShape.scale_at`` lookups (repro.ops).
+
+    The shape is sampled per arrival-*batch* by the LoadController, but
+    its cost still must be O(1) in the table (an index lookup, no
+    scanning): this bench hammers ``scale_at`` across times far beyond
+    the compiled horizon, on all three shape kinds.  Kernel-insensitive.
+    """
+    from ..ops.load import LoadShape, named_load_shape
+
+    shapes = [LoadShape(named_load_shape(kind, 120.0))
+              for kind in ("diurnal", "flash_crowd", "post_outage_herd")]
+    n = int(70_000 * scale)
+    total = 0.0
+    for i in range(n):
+        t = (i * 7919) % 100_000 / 10.0  # deterministic scatter
+        for shape in shapes:
+            total += shape.scale_at(t)
+    assert total > 0
+    return {"ops": 3 * n, "events": 0}
+
+
+def canary_judgment(env_factory: Callable, scale: float) -> dict:
+    """Ops control plane: pure canary verdicts (repro.ops.canary).
+
+    ``judge_window`` is the closed loop's per-window decision function;
+    this bench drives it across a deterministic grid of canary/control
+    counter deltas.  Kernel-insensitive.
+    """
+    from ..ops.canary import CanaryConfig, judge_window
+
+    config = CanaryConfig()
+    n = int(100_000 * scale)
+    aborts = 0
+    for i in range(n):
+        canary_err = (i * 13) % 37
+        control_err = (i * 7) % 11
+        verdict, _, _ = judge_window(
+            200.0, float(canary_err), 1000.0, float(control_err), config)
+        aborts += verdict == "abort"
+    assert 0 < aborts < n
+    return {"ops": n, "events": 0}
+
+
 MICRO_SCENARIOS: list[Scenario] = [
     Scenario("event_churn", "micro", event_churn, repeat=3),
     Scenario("timeout_storm", "micro", timeout_storm, repeat=3),
@@ -342,6 +386,10 @@ MICRO_SCENARIOS: list[Scenario] = [
              kernel_sensitive=False, repeat=2),
     Scenario("lb_pick_concury", "micro", _lb_pick("concury"),
              kernel_sensitive=False, repeat=2),
+    Scenario("load_shape_sample", "micro", load_shape_sample,
+             kernel_sensitive=False, repeat=3),
+    Scenario("canary_judgment", "micro", canary_judgment,
+             kernel_sensitive=False, repeat=3),
 ]
 
 MACRO_SCENARIOS: list[Scenario] = [

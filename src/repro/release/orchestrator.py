@@ -24,7 +24,9 @@ from ..simkernel.core import Environment
 from ..simkernel.events import AllOf, Interrupt
 
 __all__ = ["BatchRecord", "RollingRelease", "RollingReleaseConfig",
-           "add_release_observer", "remove_release_observer"]
+           "add_release_observer", "remove_release_observer",
+           "set_ambient_release_gate", "clear_ambient_release_gate",
+           "ambient_release_gate"]
 
 # Module-level observers, notified as ``cb(phase, release)`` with phase
 # in {"begin", "end"}.  Observers (the invariant suites) register here
@@ -48,6 +50,27 @@ def remove_release_observer(callback) -> None:
 def _notify(phase: str, release: "RollingRelease") -> None:
     for callback in list(_observers):
         callback(phase, release)
+
+
+# Ambient gate factory, the CLI's ``--canary`` hook: when set, every
+# release constructed without an explicit ``gate`` calls
+# ``factory(release)`` to build one at execute() time.  Lives here (not
+# in repro.ops) so the orchestrator never imports the control plane.
+_ambient_gate_factory = None
+
+
+def set_ambient_release_gate(factory) -> None:
+    global _ambient_gate_factory
+    _ambient_gate_factory = factory
+
+
+def clear_ambient_release_gate() -> None:
+    global _ambient_gate_factory
+    _ambient_gate_factory = None
+
+
+def ambient_release_gate():
+    return _ambient_gate_factory
 
 
 @dataclass
@@ -118,22 +141,32 @@ class RollingRelease:
 
     def __init__(self, env: Environment, targets: Sequence,
                  config: Optional[RollingReleaseConfig] = None,
-                 name: str = "release"):
+                 name: str = "release", gate=None):
         self.env = env
         self.targets = list(targets)
         self.config = config or RollingReleaseConfig()
         self.name = name
+        #: Release gate (e.g. repro.ops.canary.CanaryController): after
+        #: each batch, ``gate.review(release, batch, record)`` runs as a
+        #: sub-process and returns "proceed" or "abort".  None falls
+        #: back to the ambient factory (set_ambient_release_gate).
+        self.gate = gate
         self.batches: list[BatchRecord] = []
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
-        #: Set when the error budget was exhausted and the walk stopped.
+        #: Set when the error budget was exhausted (or the gate voted
+        #: abort) and the walk stopped.
         self.aborted = False
+        #: Why: "error_budget" | "canary" (None while not aborted).
+        self.abort_reason: Optional[str] = None
         #: Target names that never released (all attempts failed).
         self.failed_targets: list[str] = []
         #: Last error string per target that ever failed an attempt.
         self.errors: dict[str, str] = {}
         #: Target names rolled back after an abort.
         self.rolled_back: list[str] = []
+        #: Target names whose rollback itself failed or timed out.
+        self.rollback_failed: list[str] = []
         self._released: list = []  # target objects, in completion order
 
     @property
@@ -158,6 +191,9 @@ class RollingRelease:
         config.validate()
         self.started_at = self.env.now
         batch_size = config.batches(len(self.targets))
+        gate = self.gate
+        if gate is None and _ambient_gate_factory is not None:
+            gate = _ambient_gate_factory(self)
         _notify("begin", self)
         try:
             # Walk the fleet in fixed order, batch_size at a time.
@@ -176,9 +212,18 @@ class RollingRelease:
                 if (config.error_budget is not None
                         and len(self.failed_targets) > config.error_budget):
                     self.aborted = True
+                    self.abort_reason = "error_budget"
                     if config.rollback_on_abort:
                         yield from self._rollback()
                     break
+                if gate is not None:
+                    verdict = yield from gate.review(self, batch, record)
+                    if verdict == "abort":
+                        self.aborted = True
+                        self.abort_reason = "canary"
+                        if config.rollback_on_abort:
+                            yield from self._rollback()
+                        break
                 more = start + batch_size < len(self.targets)
                 if more and config.inter_batch_gap > 0:
                     yield self.env.timeout(config.inter_batch_gap)
@@ -202,6 +247,13 @@ class RollingRelease:
                                   outcomes))
                 for target in pending
             ]
+            if (config.error_budget is not None
+                    and attempt == config.max_attempts):
+                # Mid-batch budget enforcement: this is the attempt
+                # whose failures become permanent, so the moment the
+                # budget is provably blown, interrupt the rest of the
+                # batch instead of letting it keep restarting machines.
+                self._arm_budget_cut(tasks, outcomes)
             waiter = AllOf(self.env, tasks)
             if config.batch_timeout is not None:
                 outcome = yield from with_timeout(
@@ -234,6 +286,26 @@ class RollingRelease:
             self.failed_targets.append(name)
             record.failed.append(name)
 
+    def _arm_budget_cut(self, tasks, outcomes: dict) -> None:
+        """Interrupt a final attempt's stragglers once the budget is
+        provably exhausted (strict ``failed > budget``, matching the
+        batch-boundary check)."""
+        budget = self.config.error_budget
+        baseline = len(self.failed_targets)
+
+        def _maybe_cut(_event) -> None:
+            errors_now = sum(
+                1 for error in outcomes.values() if error is not None)
+            if baseline + errors_now > budget:
+                for task in tasks:
+                    if task.is_alive:
+                        task.interrupt("error_budget_exhausted")
+
+        # Each guard records its outcome before its process completes,
+        # so by callback time ``outcomes`` reflects this task's fate.
+        for task in tasks:
+            task.callbacks.append(_maybe_cut)
+
     def _guarded(self, target, generator, outcomes: dict):
         """Generator: run one restart, mapping its fate into ``outcomes``.
 
@@ -257,16 +329,52 @@ class RollingRelease:
 
         In the simulation "rolling back" is another restart (the binary
         version is not modelled); what matters is the orchestration —
-        sequential, reverse order, best-effort.
+        sequential, reverse order, best-effort, and *bounded*: with
+        ``batch_timeout`` set, a hung rollback restart is interrupted
+        after the deadline and recorded in ``rollback_failed`` instead
+        of wedging the abort path forever.
         """
+        config = self.config
         for target in reversed(list(self._released)):
             name = self._target_name(target)
             try:
-                yield from self._restart_generator(target)
-            except Exception as exc:  # best-effort: record and move on
+                generator = self._restart_generator(target)
+            except TypeError as exc:
                 self.errors[name] = f"rollback: {type(exc).__name__}: {exc}"
+                self.rollback_failed.append(name)
                 continue
-            self.rolled_back.append(name)
+            outcomes: dict[str, Optional[str]] = {}
+            task = self.env.process(
+                self._guarded_rollback(target, generator, outcomes))
+            if config.batch_timeout is not None:
+                outcome = yield from with_timeout(
+                    self.env, task, config.batch_timeout)
+                if outcome is TIMED_OUT and task.is_alive:
+                    task.interrupt("rollback_timeout")
+                    yield AllOf(self.env, [task])
+            else:
+                yield task
+            error = outcomes.get(name)
+            if error is not None:
+                self.errors[name] = f"rollback: {error}"
+                self.rollback_failed.append(name)
+            else:
+                self.rolled_back.append(name)
+
+    def _guarded_rollback(self, target, generator, outcomes: dict):
+        """Like :meth:`_guarded`, but never touches ``_released`` — a
+        successful rollback must not count the target as released
+        again."""
+        name = self._target_name(target)
+        try:
+            yield from generator
+        except Interrupt as exc:
+            outcomes[name] = f"interrupted: {exc.cause}"
+            return
+        except Exception as exc:
+            outcomes[name] = f"{type(exc).__name__}: {exc}"
+            return
+        outcomes[name] = None
 
     def summary(self) -> dict:
         """Compact dict for the metrics report's ``release`` section."""
@@ -276,7 +384,9 @@ class RollingRelease:
             "timed_out_batches": sum(1 for b in self.batches if b.timed_out),
             "failed_targets": list(self.failed_targets),
             "aborted": self.aborted,
+            "abort_reason": self.abort_reason,
             "rolled_back": list(self.rolled_back),
+            "rollback_failed": list(self.rollback_failed),
         }
 
     @property

@@ -26,7 +26,8 @@ from typing import Optional
 from ..simkernel.rng import RandomStreams
 
 __all__ = ["ReleaseTraceConfig", "ReleaseEvent", "ReleaseTrace",
-           "ReleaseScheduleModel", "completion_time_model"]
+           "ReleaseScheduleModel", "completion_time_model",
+           "batch_fraction_for_load"]
 
 HOURS_PER_WEEK = 7 * 24
 
@@ -167,6 +168,25 @@ class ReleaseScheduleModel:
             k += 1
             product *= rng.random()
         return k
+
+
+def batch_fraction_for_load(scale: float, base_fraction: float,
+                            min_scale: float, min_fraction: float,
+                            max_fraction: float) -> float:
+    """Batch fraction appropriate for the current load level.
+
+    At the day's trough (``scale == min_scale``) the full
+    ``base_fraction`` is safe; as load rises the fraction shrinks
+    proportionally, clamped to ``[min_fraction, max_fraction]`` —
+    mirroring how operators take bigger batches off-peak (Fig 15).
+    """
+    if base_fraction <= 0:
+        raise ValueError("base_fraction must be positive")
+    if not min_fraction <= max_fraction:
+        raise ValueError("need min_fraction <= max_fraction")
+    scale = max(scale, 1e-9)
+    fraction = base_fraction * max(min_scale, 1e-9) / scale
+    return min(max_fraction, max(min_fraction, fraction))
 
 
 def completion_time_model(machines: int, batch_fraction: float,

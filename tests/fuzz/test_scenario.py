@@ -63,3 +63,24 @@ def test_fault_plan_empty_when_no_faults():
 def test_describe_mentions_shape():
     text = generate_scenario(0).describe()
     assert "seed=0" in text
+
+
+def test_load_shape_draw_is_valid_and_sometimes_set():
+    from repro.ops.load import LOAD_SHAPE_KINDS
+
+    drawn = {generate_scenario(seed).load_shape for seed in range(40)}
+    assert drawn <= set(LOAD_SHAPE_KINDS) | {None}
+    assert None in drawn            # constant-rate still dominates...
+    assert drawn - {None}           # ...but shaped scenarios do occur
+
+
+def test_load_shape_roundtrips_and_replays():
+    from repro.fuzz.runner import run_scenario
+
+    seed = next(s for s in range(40)
+                if generate_scenario(s).load_shape is not None)
+    scenario = generate_scenario(seed)
+    assert Scenario.from_json(scenario.to_json()) == scenario
+    first = run_scenario(scenario)
+    second = run_scenario(scenario)
+    assert first.violated_checkers() == second.violated_checkers()

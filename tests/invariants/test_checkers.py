@@ -21,6 +21,7 @@ EXPECTED_CHECKERS = {
     "fd-conservation", "reuseport-stability", "request-conservation",
     "ppr-exactly-once", "mqtt-continuity", "capacity-floor",
     "drain-monotonicity", "retry-budget-sanity", "lb-routing-guarantee",
+    "autoscaler-discipline",
 }
 
 
@@ -49,7 +50,7 @@ def _takeover_scenario(**overrides):
 # -- registry ----------------------------------------------------------------
 
 
-def test_registry_has_the_nine_checkers():
+def test_registry_has_the_expected_checkers():
     assert set(CHECKERS) == EXPECTED_CHECKERS
 
 
@@ -188,3 +189,72 @@ def test_unknown_planted_fault_raises():
     with pytest.raises(ValueError):
         with planted_fault("definitely_not_a_plant"):
             pass
+
+
+# -- autoscaler discipline ---------------------------------------------------
+
+
+def _autoscaler_checker(deployment=None):
+    from repro.invariants.checkers import AutoscalerDisciplineChecker
+
+    class _Suite:
+        pass
+
+    suite = _Suite()
+    suite.deployment = deployment or Deployment(_tiny_spec())
+    checker = AutoscalerDisciplineChecker()
+    checker.attach(suite)
+    return checker
+
+
+def test_autoscaler_checker_flags_scale_in_of_non_active_member():
+    checker = _autoscaler_checker()
+    checker.on_event("autoscale_in", pool="app", target=None,
+                     target_state="draining", size_before=3, size_after=2,
+                     min_size=1, max_size=4)
+    assert len(checker.violations) == 1
+    assert "draining" in checker.violations[0].message
+
+
+def test_autoscaler_checker_flags_bound_breaches():
+    checker = _autoscaler_checker()
+    checker.on_event("autoscale_in", pool="app", target=None,
+                     target_state="active", size_before=1, size_after=0,
+                     min_size=1, max_size=4)
+    checker.on_event("autoscale_out", pool="edge", size_before=4,
+                     size_after=5, min_size=1, max_size=4)
+    assert len(checker.violations) == 2
+    assert "capacity floor" in checker.violations[0].message
+    assert "above bound" in checker.violations[1].message
+
+
+def test_autoscaler_checker_accepts_disciplined_decisions():
+    checker = _autoscaler_checker()
+    checker.on_event("autoscale_out", pool="app", size_before=2,
+                     size_after=3, min_size=1, max_size=4)
+    checker.on_event("autoscale_in", pool="app", target=None,
+                     target_state="active", size_before=3, size_after=2,
+                     min_size=1, max_size=4)
+    checker.finalize()  # no autoscalers attached: bounds pass trivially
+    assert not checker.violations
+
+
+def test_autoscaler_checker_samples_pool_bounds():
+    deployment = Deployment(_tiny_spec())
+
+    class _Adapter:
+        def size(self):
+            return 0  # below every min_size
+
+    class _Scaler:
+        name = "autoscaler-app"
+        adapter = _Adapter()
+
+        from repro.ops.autoscale import AutoscalerConfig
+        config = AutoscalerConfig(min_size=1, max_size=4)
+
+    deployment.autoscalers.append(_Scaler())
+    checker = _autoscaler_checker(deployment)
+    checker.sample()
+    assert checker.violations
+    assert "outside" in checker.violations[0].message

@@ -237,6 +237,156 @@ def test_rollback_rereleases_completed_in_reverse():
     assert len(ok.restarts) == 2  # release + rollback
 
 
+class HangsOnRollback:
+    """First release succeeds fast; the rollback restart never returns."""
+
+    def __init__(self, env, name):
+        self.env = env
+        self.name = name
+        self.attempts = 0
+        self.interrupted = 0
+
+    def release(self):
+        from repro.simkernel import Interrupt
+
+        self.attempts += 1
+        if self.attempts == 1:
+            yield self.env.timeout(1.0)
+            return
+        try:
+            yield self.env.event()  # the rollback hangs forever
+        except Interrupt:
+            self.interrupted += 1
+            raise
+
+
+def test_hung_rollback_is_bounded_by_batch_timeout():
+    env = Environment()
+    hung = HangsOnRollback(env, "hung")
+    bad = FlakyTarget(env, "bad", failures=99, duration=1.0)
+    release = RollingRelease(env, [hung, bad], RollingReleaseConfig(
+        batch_fraction=0.5, batch_timeout=10.0, error_budget=0,
+        rollback_on_abort=True))
+    env.run(until=env.process(release.execute()))
+    # Batch 1 released "hung" [0,1]; batch 2's failure aborted; the
+    # rollback of "hung" then wedged and was cut at the deadline.
+    assert release.aborted
+    assert hung.interrupted == 1
+    assert release.rolled_back == []
+    assert release.rollback_failed == ["hung"]
+    assert release.errors["hung"].startswith("rollback: interrupted")
+    assert release.summary()["rollback_failed"] == ["hung"]
+    # Bounded: abort at t=3 (1 + attempt 1 + budget check... ) plus one
+    # rollback deadline — nowhere near "forever".
+    assert release.finished_at is not None
+    assert release.finished_at <= 2.0 + 10.0
+
+
+def test_failing_rollback_is_recorded_and_skipped():
+    env = Environment()
+    ok = FakeTarget(env, "ok", 1.0)
+    broken = FlakyTarget(env, "broken", failures=99, duration=1.0)
+
+    class RollbackBreaks(FakeTarget):
+        def release(self):
+            if self.restarts:
+                raise RuntimeError("old binary gone")
+            yield from super().release()
+
+    fragile = RollbackBreaks(env, "fragile", 1.0)
+    release = RollingRelease(env, [fragile, ok, broken],
+                             RollingReleaseConfig(
+                                 batch_fraction=0.34, error_budget=0,
+                                 rollback_on_abort=True))
+    env.run(until=env.process(release.execute()))
+    # Rollback walks newest-first: ok succeeds, fragile fails, and the
+    # failure does not stop the walk (it already visited ok).
+    assert release.aborted
+    assert release.rolled_back == ["ok"]
+    assert release.rollback_failed == ["fragile"]
+    assert release.errors["fragile"].startswith("rollback: RuntimeError")
+
+
+def test_rollback_typeerror_target_is_recorded_not_fatal():
+    env = Environment()
+    ok = FakeTarget(env, "ok", 1.0)
+    mutant = FakeTarget(env, "mutant", 1.0)
+    bad = FlakyTarget(env, "bad", failures=99, duration=1.0)
+    release = RollingRelease(env, [mutant, ok, bad], RollingReleaseConfig(
+        batch_fraction=0.34, error_budget=0, rollback_on_abort=True))
+
+    # The target stops being restartable between its release (batch 1,
+    # done at t=1) and the rollback (t≈3): building its rollback
+    # generator raises TypeError, which must be recorded, not propagated.
+    def sabotage():
+        yield env.timeout(1.5)
+        mutant.release = None  # e.g. decommissioned mid-flight
+
+    env.process(sabotage())
+    env.run(until=env.process(release.execute()))
+    assert release.aborted
+    assert "mutant" in release.rollback_failed
+    assert release.errors["mutant"].startswith("rollback: TypeError")
+    assert release.rolled_back == ["ok"]
+
+
+def test_budget_boundary_is_strict_failed_must_exceed():
+    env = Environment()
+    targets = [FlakyTarget(env, "bad0", failures=99, duration=1.0),
+               FakeTarget(env, "ok1", 1.0),
+               FakeTarget(env, "ok2", 1.0)]
+    release = RollingRelease(env, targets, RollingReleaseConfig(
+        batch_fraction=0.34, error_budget=1))
+    env.run(until=env.process(release.execute()))
+    # Exactly budget-many failures (1 == 1): the release walks on.
+    assert not release.aborted
+    assert release.failed_targets == ["bad0"]
+    assert targets[2].restarts
+
+
+def test_budget_cut_interrupts_the_rest_of_the_batch():
+    env = Environment()
+    fast_bad = FlakyTarget(env, "bad", failures=99, duration=1.0)
+    slow = [FakeTarget(env, f"slow{i}", 100.0) for i in range(2)]
+    release = RollingRelease(env, [fast_bad] + slow, RollingReleaseConfig(
+        batch_fraction=1.0, error_budget=0))
+    env.run(until=env.process(release.execute()))
+    # The moment bad's failure blows the budget (t=1), the in-flight
+    # slow restarts are interrupted rather than run for 100s more.
+    assert release.aborted
+    assert env.now == 1.0
+    assert not any(t.restarts for t in slow)
+    for target in slow:
+        assert release.errors[target.name] == \
+            "interrupted: error_budget_exhausted"
+
+
+def test_budget_cut_holds_fire_at_exactly_budget():
+    env = Environment()
+    fast_bad = FlakyTarget(env, "bad", failures=99, duration=1.0)
+    slow = FakeTarget(env, "slow", duration=20.0)
+    release = RollingRelease(env, [fast_bad, slow], RollingReleaseConfig(
+        batch_fraction=1.0, error_budget=1))
+    env.run(until=env.process(release.execute()))
+    # One failure == budget: not exhausted, so slow finishes normally.
+    assert not release.aborted
+    assert slow.restarts == [(0.0, 20.0)]
+
+
+def test_budget_cut_only_arms_on_the_final_attempt():
+    env = Environment()
+    flaky = FlakyTarget(env, "flaky", failures=1, duration=1.0)
+    slow = FakeTarget(env, "slow", duration=10.0)
+    release = RollingRelease(env, [flaky, slow], RollingReleaseConfig(
+        batch_fraction=1.0, error_budget=0, max_attempts=2,
+        retry_backoff=1.0))
+    env.run(until=env.process(release.execute()))
+    # Attempt 1's failure is not permanent yet — slow must not be cut,
+    # and the retry turns flaky green: no abort at all.
+    assert not release.aborted
+    assert slow.restarts and flaky.restarts
+
+
 def test_hardening_config_validated():
     env = Environment()
     for config in (RollingReleaseConfig(max_attempts=0),
@@ -245,3 +395,125 @@ def test_hardening_config_validated():
         release = RollingRelease(env, _targets(env, 2), config)
         with pytest.raises(ValueError):
             env.run(until=env.process(release.execute()))
+
+
+# -- observers: "end" fires exactly once on every exit path -----------------
+
+
+class _Observer:
+    def __init__(self):
+        self.begins = []
+        self.ends = []
+
+    def __call__(self, phase, release):
+        if phase == "begin":
+            self.begins.append(release)
+        elif phase == "end":
+            self.ends.append(release)
+
+
+def _observed(env, release, expect_raises=None):
+    from repro.release.orchestrator import (add_release_observer,
+                                            remove_release_observer)
+
+    observer = _Observer()
+    add_release_observer(observer)
+    try:
+        process = env.process(release.execute())
+        if expect_raises is not None:
+            with pytest.raises(expect_raises):
+                env.run(until=process)
+        else:
+            env.run(until=process)
+    finally:
+        remove_release_observer(observer)
+    return observer
+
+
+def test_observer_sees_one_begin_one_end_on_clean_run():
+    env = Environment()
+    release = RollingRelease(env, _targets(env, 4),
+                             RollingReleaseConfig(batch_fraction=0.5))
+    observer = _observed(env, release)
+    assert observer.begins == [release]
+    assert observer.ends == [release]
+
+
+def test_observer_end_fires_once_on_abort_with_rollback():
+    env = Environment()
+    ok = FakeTarget(env, "ok", 1.0)
+    bad = FlakyTarget(env, "bad", failures=99, duration=1.0)
+    release = RollingRelease(env, [ok, bad], RollingReleaseConfig(
+        batch_fraction=0.5, error_budget=0, rollback_on_abort=True))
+    observer = _observed(env, release)
+    assert release.aborted and release.rolled_back == ["ok"]
+    assert observer.ends == [release]
+
+
+def test_observer_end_fires_once_on_canary_abort():
+    class VetoGate:
+        def review(self, release, batch, record):
+            yield release.env.timeout(1.0)
+            return "abort"
+
+    env = Environment()
+    release = RollingRelease(env, _targets(env, 4),
+                             RollingReleaseConfig(batch_fraction=0.25),
+                             gate=VetoGate())
+    observer = _observed(env, release)
+    assert release.aborted and release.abort_reason == "canary"
+    assert observer.ends == [release]
+
+
+def test_observer_end_fires_once_when_execute_raises_mid_fleet():
+    env = Environment()
+    targets = _targets(env, 2) + [object()]  # batch 2 is unrestartable
+    release = RollingRelease(env, targets,
+                             RollingReleaseConfig(batch_fraction=0.34))
+    observer = _observed(env, release, expect_raises=TypeError)
+    # Batch 1 (t0, t1) released fine, the TypeError tore execute()
+    # down — the observer still saw exactly one end.
+    assert len(release.batches) == 1
+    assert observer.ends == [release]
+    assert observer.begins == [release]
+
+
+def test_ambient_gate_factory_builds_gates_for_ungated_releases():
+    from repro.release.orchestrator import (ambient_release_gate,
+                                            clear_ambient_release_gate,
+                                            set_ambient_release_gate)
+
+    class CountingGate:
+        def __init__(self):
+            self.reviews = 0
+
+        def review(self, release, batch, record):
+            self.reviews += 1
+            yield release.env.timeout(0.1)
+            return "proceed"
+
+    built = []
+
+    def factory(release):
+        gate = CountingGate()
+        built.append((release, gate))
+        return gate
+
+    env = Environment()
+    release = RollingRelease(env, _targets(env, 4),
+                             RollingReleaseConfig(batch_fraction=0.5))
+    set_ambient_release_gate(factory)
+    try:
+        assert ambient_release_gate() is factory
+        env.run(until=env.process(release.execute()))
+    finally:
+        clear_ambient_release_gate()
+    assert ambient_release_gate() is None
+    assert built and built[0][0] is release
+    assert built[0][1].reviews == 2  # one review per batch
+    # Cleared: the next release builds no gate.
+    env2 = Environment()
+    ungated = RollingRelease(env2, _targets(env2, 2),
+                             RollingReleaseConfig(batch_fraction=1.0))
+    env2.run(until=env2.process(ungated.execute()))
+    assert len(built) == 1
