@@ -147,6 +147,36 @@ class MqttBroker:
         if session is not None:
             session.path = None
 
+    # -- session transfer (region evacuation) ---------------------------------
+
+    def release_session(self, user_id: int) -> Optional[BrokerSession]:
+        """Detach and hand over one session context (evacuation).
+
+        The caller re-homes the returned context onto another broker via
+        :meth:`adopt_session`; the user's next ReConnect/Connect there
+        finds it and splices without a session reset.
+        """
+        session = self.sessions.pop(user_id, None)
+        if session is not None:
+            self.counters.inc("sessions_released")
+        return session
+
+    def adopt_session(self, session: BrokerSession) -> bool:
+        """Accept a session context transferred from another broker.
+
+        If the user already re-connected here (fresh session created
+        while the transfer was in flight), the live session wins and the
+        transferred context is discarded — re-adopting it would stomp
+        the newer path and strand the user's downstream publishes.
+        """
+        if session.user_id in self.sessions:
+            self.counters.inc("sessions_adopt_merged")
+            return False
+        session.path = None
+        self.sessions[session.user_id] = session
+        self.counters.inc("sessions_adopted")
+        return True
+
     def _detach_paths(self, conn: TcpEndpoint) -> None:
         """A relay connection died: sessions on it lose their path (the
         context itself survives — that is the DCR invariant)."""

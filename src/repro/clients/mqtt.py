@@ -48,6 +48,12 @@ class MqttWorkloadConfig:
     #: Real MQTT clients speak TLS to the edge; re-handshakes are what
     #: makes reconnect storms expensive (§2.5).
     use_tls: bool = True
+    #: Seconds of transport silence (no ping responses, no publishes)
+    #: before the client declares the session dead and reconnects.  A
+    #: blackholed path (WAN partition) never resets the connection, so
+    #: without this bound the client would hang forever.  ``None``
+    #: disables the check (the historical behaviour).
+    keepalive_timeout: float | None = None
 
 
 class MqttClientPopulation:
@@ -171,11 +177,22 @@ class MqttClientPopulation:
         next_publish = env.now + (sampler.exponential(config.publish_interval)
                                   / self.rate_scale)
         next_ping = env.now + config.ping_interval
+        last_inbound = env.now
         while conn.alive:
             wake = min(next_publish, next_ping)
             delay = max(0.0, wake - env.now)
             outcome = yield from with_timeout(env, conn.recv(), delay or 1e-4)
             if outcome is TIMED_OUT:
+                if (config.keepalive_timeout is not None
+                        and env.now - last_inbound
+                        > config.keepalive_timeout):
+                    # Silent path: nothing has come back for a whole
+                    # keepalive window — treat the session as dead.
+                    self.counters.inc("keepalive_expired")
+                    self.counters.inc("session_broken")
+                    if conn.alive:
+                        conn.abort(reason="keepalive_expired")
+                    return "broken"
                 try:
                     if env.now >= next_publish:
                         seq += 1
@@ -196,6 +213,7 @@ class MqttClientPopulation:
             if isinstance(outcome, StreamControl):
                 self.counters.inc("session_broken")
                 return "broken"
+            last_inbound = env.now
             message = outcome.payload
             if isinstance(message, MqttPublish):
                 self.counters.inc("publishes_received")

@@ -62,7 +62,8 @@ class Deployment:
         self.streams = RandomStreams(spec.seed)
         self.metrics = MetricsRegistry(bucket_width=spec.bucket_width)
         self.network = Network(self.env, self.streams,
-                               default_profile=INTRA_DC)
+                               default_profile=INTRA_DC,
+                               metrics=self.metrics)
         self.network.add_profile("client", "edge", WAN_CLIENT_EDGE)
         self.network.add_profile("edge", "origin", EDGE_ORIGIN)
 
@@ -357,6 +358,17 @@ class Deployment:
         self.env.run(until=until)
 
     # -- convenience views -------------------------------------------------------
+
+    @property
+    def web_populations(self) -> list:
+        """Every web client population (the invariant checkers iterate
+        this so single- and multi-region deployments look alike)."""
+        return [] if self.web_clients is None else [self.web_clients]
+
+    def all_katrans(self) -> list:
+        """Every L4LB in the deployment (fault injection / checkers)."""
+        return [k for k in (self.edge_katran, self.origin_katran)
+                if k is not None]
 
     def total_idle_cpu(self, start: float, end: float,
                        hosts: Optional[list[Host]] = None) -> list[tuple[float, float]]:

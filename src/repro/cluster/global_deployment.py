@@ -18,6 +18,7 @@ from ..appserver.hhvm import AppServer
 from ..appserver.pool import AppServerPool
 from ..clients.web import WebClientPopulation, WebWorkloadConfig
 from ..lb.consistent_hash import ConsistentHashRing
+from ..lb.ecmp import EcmpRouter
 from ..lb.katran import Katran, KatranConfig
 from ..lb.routers import ambient_lb_scheme
 from ..metrics.registry import MetricsRegistry
@@ -45,6 +46,9 @@ class GlobalSpec:
     seed: int = 0
     pops: int = 3
     proxies_per_pop: int = 4
+    #: L4LBs fronting each PoP; client flows spread over them per-flow
+    #: via ECMP, exactly like the routers in the paper's §2.1.
+    l4lbs_per_pop: int = 1
     origin_proxies: int = 3
     app_servers: int = 4
     brokers: int = 1
@@ -66,9 +70,14 @@ class EdgePoP:
     name: str
     hosts: list[Host]
     servers: list[ProxygenServer]
+    #: First L4LB — kept for callers predating ``l4lbs_per_pop``.
     katran: Katran
     clients: Optional[WebClientPopulation]
     vip: Endpoint
+    #: Every L4LB announcing this PoP's VIP (katran is l4lbs[0]).
+    l4lbs: list[Katran] = field(default_factory=list)
+    #: Per-flow ECMP spread over ``l4lbs``.
+    ecmp: Optional[EcmpRouter] = None
 
 
 class GlobalDeployment:
@@ -168,20 +177,27 @@ class GlobalDeployment:
                 context, vips=[VIP(v.name, v.endpoint, v.protocol)
                                for v in vips])
                 for host in hosts]
-            katran = Katran(self._host(f"{site}/katran", site), hosts,
-                            hc_vip=vip, name=f"katran-{site}",
-                            config=self.katran_config)
+            # The first L4LB keeps the historical host/instance names so
+            # l4lbs_per_pop=1 reproduces pre-ECMP runs byte-for-byte.
+            l4lbs = []
+            for k in range(spec.l4lbs_per_pop):
+                suffix = "" if k == 0 else f"-{k}"
+                l4lbs.append(Katran(
+                    self._host(f"{site}/katran{suffix}", site), hosts,
+                    hc_vip=vip, name=f"katran-{site}{suffix}",
+                    config=self.katran_config))
+            ecmp = EcmpRouter(l4lbs, salt=spec.seed * 131 + p)
             clients = None
             if spec.web_workload is not None:
                 client_host = self._host(f"{site}/clients",
                                          "client-" + site)
                 clients = WebClientPopulation(
-                    [client_host], vip,
-                    (lambda kt: lambda flow: kt.route(flow))(katran),
+                    [client_host], vip, ecmp.route,
                     self.metrics, spec.web_workload,
                     name=f"web-clients-{site}")
-            self.pops.append(EdgePoP(site, hosts, servers, katran,
-                                     clients, vip))
+            self.pops.append(EdgePoP(site, hosts, servers, l4lbs[0],
+                                     clients, vip, l4lbs=l4lbs,
+                                     ecmp=ecmp))
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -196,12 +212,20 @@ class GlobalDeployment:
         for pop in self.pops:
             boots = [self.env.process(s.start()) for s in pop.servers]
             yield AllOf(self.env, boots)
-            pop.katran.start(pop.katran.host.spawn(f"katran-{pop.name}"))
+            for l4lb in pop.l4lbs:
+                l4lb.start(l4lb.host.spawn(l4lb.name))
             if pop.clients is not None:
                 pop.clients.start()
 
     def run(self, until: float) -> None:
         self.env.run(until=until)
+
+    # -- convenience views ------------------------------------------------------
+
+    def all_katrans(self) -> list[Katran]:
+        """Every L4LB in the topology (fault injection / checkers)."""
+        return [self.origin_katran] + [l4 for pop in self.pops
+                                       for l4 in pop.l4lbs]
 
     # -- global releases --------------------------------------------------------
 

@@ -22,6 +22,7 @@ from . import fig16_completion_time
 from . import fig17_takeover_overhead
 from . import lb_ablation
 from . import ops_closed_loop
+from . import region_evac
 from .common import ExperimentResult
 
 ALL_EXPERIMENTS = {
@@ -41,6 +42,7 @@ ALL_EXPERIMENTS = {
     "fig17": fig17_takeover_overhead,
     "lbablation": lb_ablation,
     "opsloop": ops_closed_loop,
+    "regionevac": region_evac,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

@@ -15,7 +15,8 @@ from ..invariants import runtime as invariant_runtime
 from ..proxygen.config import ProxygenConfig
 from ..trace import runtime as trace_runtime
 
-__all__ = ["ExperimentResult", "build_deployment", "fault_summary",
+__all__ = ["ExperimentResult", "build_deployment",
+           "build_regional_deployment", "fault_summary",
            "sum_counter", "aggregate_series", "mean"]
 
 
@@ -113,6 +114,23 @@ def build_deployment(seed: int = 0,
     # Request tracing (the CLI's --trace): a no-op unless an ambient
     # TraceConfig is set — must attach before start() so the instances'
     # bound tracer handles see the collector.
+    trace_runtime.install(deployment)
+    deployment.start()
+    return deployment
+
+
+def build_regional_deployment(fault_plan=None, env=None,
+                              **spec_kwargs) -> "RegionalDeployment":
+    """A multi-region deployment with the same always-on harness wiring
+    as :func:`build_deployment` (invariants installed, tracing attached,
+    started).  ``spec_kwargs`` go straight into
+    :class:`repro.regions.RegionalSpec`.
+    """
+    from ..regions import RegionalDeployment, RegionalSpec
+
+    deployment = RegionalDeployment(RegionalSpec(**spec_kwargs), env=env,
+                                    fault_plan=fault_plan)
+    invariant_runtime.install(deployment)
     trace_runtime.install(deployment)
     deployment.start()
     return deployment

@@ -7,19 +7,31 @@ changes go through per-component fault attributes (never through shared
 config objects, which are one instance per tier) so faults stay scoped
 to exactly the matched targets.
 
-Target selection is deterministic: ``fnmatch`` over host names plus the
-deployment's seeded ``"faults"`` random stream for the optional
-``sample`` param — the same seed always hits the same machines.
+Target selection is deterministic: ``fnmatch`` over host names *and
+sites* plus the deployment's seeded ``"faults"`` random stream for the
+optional ``sample`` param — the same seed always hits the same machines.
+Site matching is what lets a plan say "every machine in region 1"
+(``where="r1-*"``) without knowing the host naming scheme.
+
+Faults that scale shared state (CPU speed, link profiles) restore
+*compositionally*: each window contributes a factor/override and each
+clear removes exactly its own contribution, so overlapping windows on
+the same target never stomp each other's snapshot of "original".
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from typing import Callable, Optional
 
 from ..netsim.network import LinkProfile
 from .plan import FaultPlan
+
+
+def _has_glob(pattern: str) -> bool:
+    return any(ch in pattern for ch in "*?[")
 
 __all__ = ["FaultInjector", "FaultRecord", "set_ambient_plan",
            "ambient_plan", "clear_ambient_plan"]
@@ -49,6 +61,8 @@ class FaultInjector:
         self.counters = deployment.metrics.scoped_counters("faults")
         self.records = [FaultRecord(spec=spec) for spec in plan.specs]
         self._attached = False
+        #: host -> (base cpu speed, list of active slow-host factors).
+        self._cpu_slow: dict = {}
 
     def attach(self) -> "FaultInjector":
         """Schedule every spec as a simulation process (idempotent)."""
@@ -100,19 +114,45 @@ class FaultInjector:
                    + self.deployment.origin_servers)
         matched = [s for s in servers
                    if fnmatch(s.host.name, spec.where)
-                   or fnmatch(s.name, spec.where)]
+                   or fnmatch(s.name, spec.where)
+                   or fnmatch(s.host.site, spec.where)]
         return self._sample(matched, spec)
 
     def _match_apps(self, spec) -> list:
         matched = [s for s in self.deployment.app_servers
                    if fnmatch(s.host.name, spec.where)
-                   or fnmatch(s.name, spec.where)]
+                   or fnmatch(s.name, spec.where)
+                   or fnmatch(s.host.site, spec.where)]
         return self._sample(matched, spec)
 
     def _match_hosts(self, spec) -> list:
         matched = [h for h in self.deployment.network.hosts()
-                   if fnmatch(h.name, spec.where)]
+                   if fnmatch(h.name, spec.where)
+                   or fnmatch(h.site, spec.where)]
         return self._sample(matched, spec)
+
+    def _expand_site_pairs(self, where: str) -> list[tuple[str, str]]:
+        """Ordered (src, dst) site pairs for a "glob:glob" pattern.
+
+        Both directions of every matched pair are returned (partitions
+        and degradations are symmetric incidents).  A fully literal
+        pattern falls back to the named pair even when no host lives on
+        those sites yet, preserving the historical behaviour of
+        ``link_degradation`` plans against bare Network fixtures.
+        """
+        src_pat, _, dst_pat = where.partition(":")
+        sites = self.deployment.network.sites()
+        srcs = [s for s in sites if fnmatch(s, src_pat)]
+        dsts = [s for s in sites if fnmatch(s, dst_pat)]
+        pairs = set()
+        for a in srcs:
+            for b in dsts:
+                if a != b:
+                    pairs.add((a, b))
+                    pairs.add((b, a))
+        if not pairs and not _has_glob(src_pat) and not _has_glob(dst_pat):
+            pairs = {(src_pat, dst_pat), (dst_pat, src_pat)}
+        return sorted(pairs)
 
     # -- handlers ---------------------------------------------------------
     # Each applies the fault and returns a closure restoring the exact
@@ -139,50 +179,100 @@ class FaultInjector:
         if not hosts:
             return None
         factor = spec.params.get("speed_factor", 0.25)
-        original = {}
         for host in hosts:
             record.targets.append(host.name)
-            original[host] = host.cpu.speed
-            host.cpu.speed = host.cpu.speed * factor
+            base, factors = self._cpu_slow.setdefault(
+                host, (host.cpu.speed, []))
+            factors.append(factor)
+            host.cpu.speed = base * math.prod(factors)
 
         def clear() -> None:
-            for host, speed in original.items():
-                host.cpu.speed = speed
+            for host in hosts:
+                entry = self._cpu_slow.get(host)
+                if entry is None:
+                    continue
+                base, factors = entry
+                factors.remove(factor)
+                if factors:
+                    host.cpu.speed = base * math.prod(factors)
+                else:
+                    # Last window on this host: restore the exact base.
+                    host.cpu.speed = base
+                    del self._cpu_slow[host]
         return clear
 
     def _inject_link_degradation(self, spec, record):
         network = self.deployment.network
-        src, _, dst = spec.where.partition(":")
-        originals = {(src, dst): network.get_profile(src, dst),
-                     (dst, src): network.get_profile(dst, src)}
+        pairs = self._expand_site_pairs(spec.where)
+        if not pairs:
+            return None
         latency_mult = spec.params.get("latency_multiplier", 1.0)
         extra_loss = spec.params.get("extra_loss", 0.0)
         bandwidth_factor = spec.params.get("bandwidth_factor", 1.0)
-        for (a, b), profile in originals.items():
-            degraded = LinkProfile(
+
+        def degrade(profile: LinkProfile) -> LinkProfile:
+            return LinkProfile(
                 latency=profile.latency * latency_mult,
                 jitter=profile.jitter * latency_mult,
                 bandwidth=(profile.bandwidth * bandwidth_factor
                            if profile.bandwidth else None),
                 loss=min(1.0, profile.loss + extra_loss))
-            network.add_profile(a, b, degraded, symmetric=False)
-        record.targets.append(spec.where)
+
+        tokens = [network.push_link_override(a, b, degrade,
+                                             symmetric=False)
+                  for a, b in pairs]
+        record.targets.extend(f"{a}:{b}" for a, b in pairs)
 
         def clear() -> None:
-            for (a, b), profile in originals.items():
-                network.add_profile(a, b, profile, symmetric=False)
+            for token in tokens:
+                network.pop_link_override(token)
         return clear
 
+    def _inject_wan_partition(self, spec, record):
+        network = self.deployment.network
+        pairs = self._expand_site_pairs(spec.where)
+        if not pairs:
+            return None
+
+        def blackhole(profile: LinkProfile) -> LinkProfile:
+            return LinkProfile(latency=profile.latency,
+                               jitter=profile.jitter,
+                               bandwidth=profile.bandwidth,
+                               loss=1.0)
+
+        tokens = [network.push_link_override(a, b, blackhole,
+                                             symmetric=False)
+                  for a, b in pairs]
+        record.targets.extend(f"{a}:{b}" for a, b in pairs)
+
+        def clear() -> None:
+            for token in tokens:
+                network.pop_link_override(token)
+        return clear
+
+    def _inject_region_outage(self, spec, record):
+        # Correlated machine loss scoped by site glob; the matchers
+        # already fnmatch sites, so this is host_crash at region scale.
+        return self._inject_host_crash(spec, record)
+
+    def _all_katrans(self) -> list:
+        deployment = self.deployment
+        getter = getattr(deployment, "all_katrans", None)
+        if getter is not None:
+            return [k for k in getter() if k is not None]
+        return [k for k in (getattr(deployment, "edge_katran", None),
+                            getattr(deployment, "origin_katran", None))
+                if k is not None]
+
     def _inject_hc_flap(self, spec, record):
-        katrans = [k for k in (self.deployment.edge_katran,
-                               self.deployment.origin_katran)
-                   if k is not None]
+        katrans = self._all_katrans()
         probability = spec.params.get("fail_probability", 0.7)
         touched: list[tuple] = []
         backends = []
         for katran in katrans:
             for ip, backend in katran.backends.items():
-                if fnmatch(backend.host.name, spec.where):
+                if (fnmatch(backend.host.name, spec.where)
+                        or fnmatch(backend.host.site, spec.where)):
                     backends.append((katran, ip, backend))
         for katran, ip, backend in self._sample(backends, spec):
             katran.forced_probe_failure[ip] = probability

@@ -23,6 +23,10 @@ FAULT_KINDS = frozenset({
     "slow_host",         # CPU speed scaled down for the duration
     # network
     "link_degradation",  # latency×, extra loss on one site-pair link
+    "wan_partition",     # correlated blackhole: 100% loss on every link
+                         # whose sites match a "glob:glob" pair
+    # sites / regions
+    "region_outage",     # every proxy/app whose site matches crashes
     # L4LB
     "hc_flap",           # forced health-probe failures (§5.1 flaps)
     # takeover path
@@ -40,9 +44,10 @@ class FaultSpec:
     """One fault: kind + target pattern + schedule + knobs.
 
     ``where`` is an ``fnmatch`` pattern over target names — host names
-    ("edge-proxy-*", "appserver-0") for machine/tier faults, or a
-    "src_site:dst_site" pair for ``link_degradation``.  ``duration``
-    ``None`` means the fault persists until the end of the run.
+    *or sites* ("edge-proxy-*", "appserver-0", "r1-*") for machine/tier
+    faults, or a "src_site:dst_site" pair (both sides may be globs) for
+    ``link_degradation`` / ``wan_partition``.  ``duration`` ``None``
+    means the fault persists until the end of the run.
     ``params`` carries per-kind knobs (e.g. ``fail_probability`` for
     ``hc_flap``); the common ``sample`` param (0, 1] injects into only a
     deterministic random subset of the matched targets.
@@ -63,9 +68,10 @@ class FaultSpec:
             raise ValueError("fault time must be non-negative")
         if self.duration is not None and self.duration <= 0:
             raise ValueError("fault duration must be positive (or None)")
-        if self.kind == "link_degradation" and ":" not in self.where:
+        if (self.kind in ("link_degradation", "wan_partition")
+                and ":" not in self.where):
             raise ValueError(
-                "link_degradation needs where='src_site:dst_site'")
+                f"{self.kind} needs where='src_site:dst_site'")
         sample = self.params.get("sample", 1.0)
         if not 0 < sample <= 1:
             raise ValueError("sample must be in (0, 1]")
@@ -158,6 +164,22 @@ def _upload_truncation(at: float, duration: float) -> list[FaultSpec]:
                       duration=duration, params={"fraction": 0.3})]
 
 
+def _wan_partition(at: float, duration: float) -> list[FaultSpec]:
+    # A whole region drops off the backbone *and* its last mile: every
+    # link touching an "r0-*" site blackholes.  In a single-region
+    # deployment (no r0-* sites) the spec is a no-op ("no_target"), so
+    # the plan composes with any experiment.
+    return [FaultSpec("wan_partition", where="r0-*:*", at=at,
+                      duration=duration)]
+
+
+def _region_outage(at: float, duration: float) -> list[FaultSpec]:
+    # Correlated machine loss: every proxy and app server in the r1-*
+    # sites crashes at once and reboots on clear.
+    return [FaultSpec("region_outage", where="r1-*", at=at,
+                      duration=duration)]
+
+
 BUILTIN_PLANS = {
     "hc-flap-storm": (_hc_flap_storm,
                       "§5.1 health-check flaps churning the L4LB ring"),
@@ -173,6 +195,10 @@ BUILTIN_PLANS = {
                       "degraded WAN + throttled edge machines"),
     "upload-truncation": (_upload_truncation,
                           "upstreams truncating response bodies"),
+    "wan-partition": (_wan_partition,
+                      "region r0 blackholed from clients and peers"),
+    "region-outage": (_region_outage,
+                      "correlated crash of every r1-* machine"),
 }
 
 

@@ -23,6 +23,7 @@ from ..invariants import InvariantSuite, InvariantViolation, make_checkers
 from ..lb.katran import KatranConfig
 from ..ops.load import named_load_shape
 from ..proxygen.config import ProxygenConfig
+from ..regions import RegionalDeployment, RegionalSpec
 from ..release.orchestrator import RollingRelease, RollingReleaseConfig
 from ..trace import TraceConfig
 from ..trace import runtime as trace_runtime
@@ -94,6 +95,48 @@ def _build_spec(scenario: Scenario) -> DeploymentSpec:
     )
 
 
+def _build_regional_spec(scenario: Scenario) -> RegionalSpec:
+    """Multi-region variant: per-pop counts reuse the scenario fields."""
+    spawn_delay = 0.5
+    return RegionalSpec(
+        seed=scenario.seed,
+        regions=scenario.regions,
+        pops_per_region=1,
+        proxies_per_pop=scenario.edge_proxies,
+        origin_proxies=scenario.origin_proxies,
+        app_servers=scenario.app_servers,
+        brokers=scenario.brokers,
+        web_clients_per_pop=scenario.web_clients,
+        mqtt_users_per_pop=scenario.mqtt_users,
+        edge_config=ProxygenConfig(
+            mode="edge",
+            enable_takeover=scenario.edge_takeover,
+            drain_duration=scenario.drain_duration,
+            spawn_delay=spawn_delay),
+        origin_config=ProxygenConfig(
+            mode="origin",
+            drain_duration=scenario.drain_duration,
+            spawn_delay=spawn_delay),
+        app_config=AppServerConfig(
+            drain_duration=min(3.0, scenario.drain_duration),
+            restart_downtime=2.0),
+        katran_config=KatranConfig(lb_scheme=scenario.lb_scheme),
+        load_shape=(named_load_shape(scenario.load_shape,
+                                     scenario.duration)
+                    if scenario.load_shape else None),
+        web_workload=(WebWorkloadConfig(
+            clients_per_host=scenario.web_clients,
+            post_fraction=scenario.post_fraction,
+            think_time=1.0,
+            request_timeout=8.0)
+            if scenario.web_clients > 0 else None),
+        mqtt_workload=(MqttWorkloadConfig(
+            users_per_host=scenario.mqtt_users,
+            keepalive_timeout=20.0)
+            if scenario.mqtt_users > 0 else None),
+    )
+
+
 def _release_targets(deployment: Deployment, tier: str) -> list:
     return {
         "edge": deployment.edge_servers,
@@ -129,8 +172,13 @@ def run_scenario(scenario: Scenario,
     testing); ``None`` uses the optimized live kernel.
     """
     with planted_fault(scenario.planted):
-        deployment = Deployment(_build_spec(scenario), env=env,
-                                fault_plan=scenario.fault_plan())
+        if scenario.regions > 1:
+            deployment = RegionalDeployment(
+                _build_regional_spec(scenario), env=env,
+                fault_plan=scenario.fault_plan())
+        else:
+            deployment = Deployment(_build_spec(scenario), env=env,
+                                    fault_plan=scenario.fault_plan())
         suite = InvariantSuite(deployment,
                                checkers=make_checkers(checkers))
         suite.attach()
@@ -148,8 +196,8 @@ def run_scenario(scenario: Scenario,
         if collector is not None:
             trace_runtime.uninstall(collector)
 
-    counters = (deployment.web_clients.counters
-                if deployment.web_clients is not None else None)
+    # Aggregated over every web population, so single- and multi-region
+    # deployments report through the same keys.
     stats = {
         "sim_time": deployment.env.now,
         "releases_started": len(releases),
@@ -158,8 +206,10 @@ def run_scenario(scenario: Scenario,
         "takeovers": sum(s.counters.get("takeover_completed")
                          for s in (deployment.edge_servers
                                    + deployment.origin_servers)),
-        "get_ok": counters.get("get_ok") if counters else 0.0,
-        "post_ok": counters.get("post_ok") if counters else 0.0,
+        "get_ok": deployment.metrics.aggregate(
+            "get_ok", scope_prefix="web-clients"),
+        "post_ok": deployment.metrics.aggregate(
+            "post_ok", scope_prefix="web-clients"),
         "checkers": suite.checker_names(),
     }
     if deployment.fault_injector is not None:

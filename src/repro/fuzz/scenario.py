@@ -59,6 +59,10 @@ class Scenario:
     #: Load shape (repro.ops.load.LOAD_SHAPE_KINDS) modulating client
     #: arrival rates, scaled to the run's duration; None = constant.
     load_shape: Optional[str] = None
+    #: Regions in the deployment; 1 = the classic single-Origin cluster,
+    #: >1 builds a :class:`repro.regions.RegionalDeployment` (per-pop
+    #: client/proxy counts reuse the single-region fields above).
+    regions: int = 1
 
     # -- serialization ---------------------------------------------------
 
@@ -106,6 +110,8 @@ class Scenario:
                 f"app={self.app_servers}", f"lb={self.lb_scheme}",
                 f"faults={len(self.faults)}",
                 f"releases={len(self.releases)}"]
+        if self.regions > 1:
+            bits.append(f"regions={self.regions}")
         if self.planted:
             bits.append(f"planted={self.planted}")
         return " ".join(bits)
@@ -141,6 +147,8 @@ def _fault_entry(rng, kind: str, duration_budget: float) -> dict:
         where = rng.choice(_LINK_WHERE)
         params = {"latency_multiplier": rng.choice((3.0, 5.0, 10.0)),
                   "extra_loss": rng.choice((0.0, 0.02, 0.05))}
+    elif kind == "wan_partition":
+        where = rng.choice(_LINK_WHERE)
     elif kind == "hc_flap":
         where = rng.choice(("edge-proxy-*", "origin-proxy-*"))
         params = {"fail_probability": rng.choice((0.5, 0.7, 0.9))}
@@ -151,6 +159,21 @@ def _fault_entry(rng, kind: str, duration_budget: float) -> dict:
         params = {"fraction": rng.choice((0.1, 0.3, 0.6))}
     return {"kind": kind, "where": where, "at": at,
             "duration": duration, "params": params}
+
+
+def _region_fault_entry(rng, regions: int, duration_budget: float) -> dict:
+    """One region-scale fault (multi-region scenarios only)."""
+    kind = rng.choice(("wan_partition", "wan_partition", "region_outage"))
+    victim = rng.randint(0, regions - 1)
+    if kind == "wan_partition":
+        # Whole-region blackhole or just the Origin's links.
+        where = rng.choice((f"r{victim}-*:*", f"r{victim}-origin:*"))
+    else:
+        where = f"r{victim}-*"
+    return {"kind": kind, "where": where,
+            "at": round(rng.uniform(2.0, max(3.0, duration_budget * 0.5)),
+                        3),
+            "duration": round(rng.uniform(3.0, 8.0), 3), "params": {}}
 
 
 def _release_entry(rng, duration_budget: float) -> dict:
@@ -179,7 +202,10 @@ def generate_scenario(seed: int, planted: Optional[str] = None) -> Scenario:
         lb_scheme=rng.choice(("stateless", "stateful", "lru", "concury")),
         planted=planted,
     )
-    kinds = sorted(FAULT_KINDS)
+    # Region-scale kinds are drawn separately below: region_outage is
+    # meaningless against a single-Origin cluster, and keeping both out
+    # of this menu keeps every pre-existing seed's scenario unchanged.
+    kinds = sorted(FAULT_KINDS - {"wan_partition", "region_outage"})
     for _ in range(rng.randint(0, 3)):
         scenario.faults.append(
             _fault_entry(rng, rng.choice(kinds), duration))
@@ -192,6 +218,23 @@ def generate_scenario(seed: int, planted: Optional[str] = None) -> Scenario:
     if not scenario.faults and not scenario.releases:
         # An idle run proves nothing about the release machinery.
         scenario.releases.append(_release_entry(rng, duration))
+    # Multi-region draws come LAST so every draw above — and with it
+    # every pre-existing seed's scenario — is bit-identical to before.
+    regions = rng.choice((1, 1, 1, 1, 2, 2, 3))
+    if planted is None and regions > 1:
+        # Planted code faults are calibrated against the classic
+        # single-Origin cluster; keep those runs on it.
+        scenario.regions = regions
+        # Region-scale runs fuzz region-scale faults: the single-region
+        # schedule's host globs don't name regional machines anyway.
+        scenario.faults = [
+            _region_fault_entry(rng, regions, duration)
+            for _ in range(rng.randint(0, 2))]
+    elif planted is None and rng.random() < 0.25:
+        # Some single-region runs get a WAN blackhole too: partition is
+        # composable with link_degradation by construction.
+        scenario.faults.append(
+            _fault_entry(rng, "wan_partition", duration))
     scenario.faults.sort(key=lambda f: f["at"])
     scenario.releases.sort(key=lambda r: r["at"])
     return scenario

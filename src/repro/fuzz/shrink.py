@@ -25,6 +25,7 @@ __all__ = ["ShrinkResult", "shrink"]
 #: keep a floor of 1 (an empty tier is a different scenario, not a
 #: smaller one); client counts may drop to zero.
 _SIZE_FIELDS = (
+    ("regions", 1),
     ("edge_proxies", 1),
     ("origin_proxies", 1),
     ("app_servers", 1),

@@ -19,7 +19,9 @@ __all__ = ["CHECKERS", "default_checkers", "make_checkers",
            "RequestConservationChecker", "PprExactlyOnceChecker",
            "MqttContinuityChecker", "CapacityFloorChecker",
            "DrainMonotonicityChecker", "BudgetSanityChecker",
-           "LbRoutingGuaranteeChecker", "AutoscalerDisciplineChecker"]
+           "LbRoutingGuaranteeChecker", "AutoscalerDisciplineChecker",
+           "EvacuationCompletenessChecker",
+           "CrossRegionContinuityChecker"]
 
 
 class FdConservationChecker(InvariantChecker):
@@ -163,27 +165,36 @@ class RequestConservationChecker(InvariantChecker):
     def finalize(self) -> None:
         self._check()
 
+    def _populations(self) -> list:
+        deployment = self.deployment
+        populations = getattr(deployment, "web_populations", None)
+        if populations is None:
+            # Duck-typed test deployments predating the multi-region
+            # aggregate view.
+            population = getattr(deployment, "web_clients", None)
+            populations = [] if population is None else [population]
+        return populations
+
     def _check(self) -> None:
-        population = self.deployment.web_clients
-        if population is None:
-            return
-        counters = population.counters
-        for kind, started_name, extra in (
-                ("get", "get_started", "request_conn_reset"),
-                ("post", "posts_started", None)):
-            started = counters.get(started_name)
-            finished = sum(counters.get(f"{kind}_{terminal}")
-                           for terminal in self._TERMINALS)
-            if extra is not None:
-                finished += counters.get(extra)
-            inflight = population.inflight.get(kind, 0)
-            if started != finished + inflight:
-                self.violation(
-                    f"web {kind} requests do not balance: started "
-                    f"{started:g} != finished {finished:g} + in-flight "
-                    f"{inflight}",
-                    kind=kind, started=started, finished=finished,
-                    inflight=inflight)
+        for population in self._populations():
+            counters = population.counters
+            for kind, started_name, extra in (
+                    ("get", "get_started", "request_conn_reset"),
+                    ("post", "posts_started", None)):
+                started = counters.get(started_name)
+                finished = sum(counters.get(f"{kind}_{terminal}")
+                               for terminal in self._TERMINALS)
+                if extra is not None:
+                    finished += counters.get(extra)
+                inflight = population.inflight.get(kind, 0)
+                if started != finished + inflight:
+                    self.violation(
+                        f"{population.name}: web {kind} requests do not "
+                        f"balance: started {started:g} != finished "
+                        f"{finished:g} + in-flight {inflight}",
+                        population=population.name, kind=kind,
+                        started=started, finished=finished,
+                        inflight=inflight)
 
 
 class PprExactlyOnceChecker(InvariantChecker):
@@ -291,7 +302,8 @@ class CapacityFloorChecker(InvariantChecker):
             return 0
         excused = 0
         for record in injector.records:
-            if record.spec.kind == "host_crash" and record.state == "active":
+            if (record.spec.kind in ("host_crash", "region_outage")
+                    and record.state == "active"):
                 excused += sum(1 for t in record.targets if t in names)
         return excused
 
@@ -416,6 +428,11 @@ class LbRoutingGuaranteeChecker(InvariantChecker):
 
     def _katrans(self):
         deployment = self.deployment
+        getter = getattr(deployment, "all_katrans", None)
+        if getter is not None:
+            yield from (k for k in getter() if k is not None)
+            return
+        # Duck-typed deployments without the aggregate view.
         for attr in ("edge_katran", "origin_katran"):
             katran = getattr(deployment, attr, None)
             if katran is not None:
@@ -496,6 +513,135 @@ class AutoscalerDisciplineChecker(InvariantChecker):
                     min_size=config.min_size, max_size=config.max_size)
 
 
+class EvacuationCompletenessChecker(InvariantChecker):
+    """A finished region evacuation left nothing behind.
+
+    After ``evacuation_end`` the region must stay empty: its brokers
+    hold no sessions, no proxy instance is alive and ACTIVE, its L4LBs
+    have no backends, and no Origin tunnel anywhere in the deployment
+    is still spliced to one of its (departed) brokers.  Checked at the
+    end event and re-checked at every quiescent point after — an
+    evacuated region silently coming back to life is also a violation.
+    """
+
+    name = "evacuation-completeness"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._evacuated: list = []
+        self._reported: set[tuple] = set()
+
+    def on_event(self, event: str, **fields) -> None:
+        if event == "evacuation_end":
+            region = fields["region"]
+            self._evacuated.append(region)
+            self._check_region(region)
+
+    def sample(self) -> None:
+        for region in self._evacuated:
+            self._check_region(region)
+
+    def finalize(self) -> None:
+        for region in self._evacuated:
+            self._check_region(region)
+
+    def _report(self, key: tuple, message: str, **fields) -> None:
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.violation(message, **fields)
+
+    def _check_region(self, region) -> None:
+        for broker in region.brokers:
+            if broker.sessions:
+                self._report(
+                    ("sessions", region.name, broker.name),
+                    f"evacuated {region.name}: {broker.name} still holds "
+                    f"{len(broker.sessions)} session contexts",
+                    region=region.name, broker=broker.name,
+                    sessions=len(broker.sessions))
+        for server in region.edge_servers + region.origin_servers:
+            for instance in (server.active_instance,
+                             server.draining_instance):
+                if (instance is not None and instance.alive
+                        and instance.state == instance.STATE_ACTIVE):
+                    self._report(
+                        ("serving", region.name, server.name),
+                        f"evacuated {region.name}: {instance.name} is "
+                        f"still actively serving",
+                        region=region.name, instance=instance.name)
+        for katran in region.katrans():
+            if katran.backends:
+                self._report(
+                    ("backends", region.name, katran.name),
+                    f"evacuated {region.name}: {katran.name} still has "
+                    f"{len(katran.backends)} backends",
+                    region=region.name, katran=katran.name,
+                    backends=len(katran.backends))
+        evacuated_ips = {host.ip for host in region.broker_hosts}
+        for server in self.deployment.origin_servers:
+            for instance in (server.active_instance,
+                             server.draining_instance):
+                if instance is None:
+                    continue
+                for tunnel in instance.mqtt_tunnels.values():
+                    if (not tunnel.closed
+                            and tunnel.broker_ip in evacuated_ips):
+                        self._report(
+                            ("tunnel", region.name, instance.name,
+                             tunnel.user_id),
+                            f"evacuated {region.name}: {instance.name} "
+                            f"still tunnels user {tunnel.user_id} to a "
+                            f"departed broker",
+                            region=region.name, instance=instance.name,
+                            user_id=tunnel.user_id)
+
+
+class CrossRegionContinuityChecker(InvariantChecker):
+    """§4.2 at region scale: a re-homed session survives the move.
+
+    Every session context an evacuation transferred must, at the end of
+    the run, exist on exactly one broker — and not on any of the
+    brokers it was evacuated from.  A missing session means the
+    hand-over dropped the user's context (their queued publishes with
+    it); a duplicate means two brokers would answer the same user.
+    """
+
+    name = "cross-region-continuity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: One entry per evacuation: (region, users, source broker names).
+        self._transfers: list[tuple[str, list, list]] = []
+
+    def on_event(self, event: str, **fields) -> None:
+        if event == "broker_sessions_transferred":
+            self._transfers.append((fields["region"],
+                                    list(fields["users"]),
+                                    list(fields["source_brokers"])))
+
+    def finalize(self) -> None:
+        brokers = self.deployment.brokers
+        for region, users, sources in self._transfers:
+            source_set = set(sources)
+            for user_id in users:
+                holders = [b.name for b in brokers
+                           if user_id in b.sessions]
+                if len(holders) != 1:
+                    self.violation(
+                        f"user {user_id} transferred out of {region} is "
+                        f"held by {len(holders)} brokers "
+                        f"({', '.join(holders) or 'none'}) — expected "
+                        f"exactly one",
+                        region=region, user_id=user_id, holders=holders)
+                elif holders[0] in source_set:
+                    self.violation(
+                        f"user {user_id} transferred out of {region} is "
+                        f"back on evacuated broker {holders[0]}",
+                        region=region, user_id=user_id,
+                        holder=holders[0])
+
+
 #: name → class, in reporting order.
 CHECKERS = {
     checker.name: checker
@@ -510,6 +656,8 @@ CHECKERS = {
         BudgetSanityChecker,
         LbRoutingGuaranteeChecker,
         AutoscalerDisciplineChecker,
+        EvacuationCompletenessChecker,
+        CrossRegionContinuityChecker,
     )
 }
 

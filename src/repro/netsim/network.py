@@ -5,6 +5,12 @@ The network charges each transmission a delay drawn from the
 over the WAN, Edge ↔ Origin over the backbone, intra-datacenter, or
 loopback.  Optional bandwidth terms charge serialization delay for big
 transfers (POST bodies), and optional loss supports failure injection.
+
+Fault injection layers *overrides* on top of the configured profiles
+(:meth:`Network.push_link_override`): each override is a pure transform
+of the profile below it, so overlapping fault windows compose and each
+clear peels off exactly its own layer — the base profile object is
+restored bit-identically once the last override pops.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
+from ..metrics.counters import CounterSet
 from ..simkernel.core import Environment
 from ..simkernel.rng import RandomStreams
 
@@ -58,14 +65,28 @@ class Network:
     """Registry of hosts plus site-pair link profiles."""
 
     def __init__(self, env: Environment, streams: RandomStreams,
-                 default_profile: LinkProfile = INTRA_DC):
+                 default_profile: LinkProfile = INTRA_DC,
+                 metrics=None):
         self.env = env
         self.rng = streams.stream("network")
         self.default_profile = default_profile
         self.local_profile = LOOPBACK
         self._hosts: dict[str, "Host"] = {}
         self._profiles: dict[tuple[str, str], LinkProfile] = {}
+        #: Total drops (kept as a bare int for the hot path / old callers);
+        #: ``drop_counters`` carries the same events tagged by site pair
+        #: ("src:dst") and by cause ("loss" / "unknown_destination").
         self.dropped = 0
+        self.drop_counters: CounterSet = (
+            metrics.scoped_counters("net") if metrics is not None
+            else CounterSet())
+        # Link-override stacks (fault injection): pair -> base profile
+        # captured once, plus the ordered transforms layered on top.
+        self._link_base: dict[tuple[str, str],
+                              tuple[bool, Optional[LinkProfile]]] = {}
+        self._link_overrides: dict[tuple[str, str],
+                                   list[tuple[int, Callable]]] = {}
+        self._override_serial = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -80,18 +101,27 @@ class Network:
     def hosts(self) -> list["Host"]:
         return list(self._hosts.values())
 
+    def sites(self) -> list[str]:
+        """Every distinct site with at least one registered host."""
+        return sorted({h.site for h in self._hosts.values()})
+
     def add_profile(self, src_site: str, dst_site: str,
                     profile: LinkProfile, symmetric: bool = True) -> None:
-        self._profiles[(src_site, dst_site)] = profile
-        if symmetric:
-            self._profiles[(dst_site, src_site)] = profile
+        pairs = [(src_site, dst_site)]
+        if symmetric and dst_site != src_site:
+            pairs.append((dst_site, src_site))
+        for pair in pairs:
+            if pair in self._link_overrides:
+                # A fault window is active on this pair: the new profile
+                # becomes the *base* underneath the active overrides.
+                self._link_base[pair] = (True, profile)
+                self._rebuild_link(pair)
+            else:
+                self._profiles[pair] = profile
 
     def get_profile(self, src_site: str, dst_site: str) -> LinkProfile:
-        """The profile a transmission between these sites would use.
-
-        Fault injection reads this before degrading a link so it can
-        restore the exact original afterwards.
-        """
+        """The *effective* profile a transmission between these sites
+        would use right now (overrides included)."""
         return self._profiles.get((src_site, dst_site),
                                   self.default_profile)
 
@@ -100,7 +130,67 @@ class Network:
             return self.local_profile
         return self._profiles.get((src.site, dst.site), self.default_profile)
 
+    # -- link overrides (fault injection) -------------------------------------
+
+    def push_link_override(self, src_site: str, dst_site: str,
+                           transform: Callable[[LinkProfile], LinkProfile],
+                           symmetric: bool = True) -> int:
+        """Layer ``transform`` onto the link(s); returns a pop token.
+
+        Overrides stack: the effective profile is the base with every
+        active transform applied in push order.  Popping any token
+        recomputes the remainder, so overlapping fault windows never
+        stomp each other's snapshot of "original".
+        """
+        self._override_serial += 1
+        token = self._override_serial
+        self._push_one((src_site, dst_site), token, transform)
+        if symmetric and dst_site != src_site:
+            self._push_one((dst_site, src_site), token, transform)
+        return token
+
+    def pop_link_override(self, token: int) -> None:
+        """Remove the override(s) pushed under ``token``."""
+        pairs = [pair for pair, stack in self._link_overrides.items()
+                 if any(t == token for t, _ in stack)]
+        for pair in pairs:
+            self._link_overrides[pair] = [
+                (t, f) for t, f in self._link_overrides[pair] if t != token]
+            self._rebuild_link(pair)
+
+    def _push_one(self, pair: tuple[str, str], token: int,
+                  transform: Callable) -> None:
+        if pair not in self._link_overrides:
+            self._link_base[pair] = (pair in self._profiles,
+                                     self._profiles.get(pair))
+            self._link_overrides[pair] = []
+        self._link_overrides[pair].append((token, transform))
+        self._rebuild_link(pair)
+
+    def _rebuild_link(self, pair: tuple[str, str]) -> None:
+        had_entry, base = self._link_base[pair]
+        stack = self._link_overrides[pair]
+        if not stack:
+            # Last override gone: restore the exact base object.
+            del self._link_overrides[pair]
+            del self._link_base[pair]
+            if had_entry:
+                self._profiles[pair] = base
+            else:
+                self._profiles.pop(pair, None)
+            return
+        profile = base if had_entry else self.default_profile
+        for _, transform in stack:
+            profile = transform(profile)
+        self._profiles[pair] = profile
+
     # -- delivery -------------------------------------------------------------
+
+    def _drop(self, src: "Host", dst: Optional["Host"], cause: str) -> None:
+        self.dropped += 1
+        dst_site = dst.site if dst is not None else "?"
+        self.drop_counters.inc("dropped", tag=f"{src.site}:{dst_site}")
+        self.drop_counters.inc("dropped_cause", tag=cause)
 
     def transmit(self, src: "Host", dst_ip: str,
                  deliver: Callable[[], None], size: int = 100,
@@ -116,7 +206,7 @@ class Network:
         now = env._now
         dst = self._hosts.get(dst_ip)
         if dst is None:
-            self.dropped += 1
+            self._drop(src, None, "unknown_destination")
             return max(now, not_before)
         if src is dst:
             profile = self.local_profile
@@ -135,7 +225,7 @@ class Network:
         if arrival < not_before:
             arrival = not_before
         if profile.loss > 0 and self.rng.random() < profile.loss:
-            self.dropped += 1
+            self._drop(src, dst, "loss")
             return arrival
         timeout = env.timeout(arrival - now)
         timeout.callbacks.append(lambda _ev: deliver())

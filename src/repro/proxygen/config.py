@@ -65,6 +65,11 @@ class ProxygenConfig:
     memory_per_connection: float = 0.02
     #: Timeout a proxy waits on an upstream before failing a request.
     upstream_timeout: float = 15.0
+    #: Timeout on the Edge→Origin TCP dial itself.  A blackholed backend
+    #: (WAN partition, dead region) never refuses — without this bound
+    #: the dial would hang forever and the cross-region fallback tier
+    #: could never kick in.
+    upstream_dial_timeout: float = 5.0
     #: How many app servers a POST replay may try (§4.4: 10 in prod).
     ppr_max_retries: int = 10
     #: Local UDP port base for the user-space forwarding channel.
@@ -89,3 +94,5 @@ class ProxygenConfig:
             raise ValueError("need at least one UDP socket per VIP")
         if self.takeover_handshake_timeout <= 0:
             raise ValueError("takeover_handshake_timeout must be positive")
+        if self.upstream_dial_timeout <= 0:
+            raise ValueError("upstream_dial_timeout must be positive")

@@ -282,6 +282,9 @@ class OriginMqttTunnel:
         self.stream = stream
         self.user_id = user_id
         self.broker_conn: Optional["TcpEndpoint"] = None
+        #: Which broker this tunnel relays into — region evacuation scans
+        #: for tunnels still pointed at an evacuated broker.
+        self.broker_ip: Optional[str] = None
         self.closed = False
         self.span = None
 
@@ -298,6 +301,7 @@ class OriginMqttTunnel:
         if self.span is not None and isinstance(first_message, ReConnect):
             self.span.annotate("dcr.splice")
         broker_ip = instance.context.broker_for_user(self.user_id)
+        self.broker_ip = broker_ip
         if broker_ip is None:
             self._refuse()
             return
@@ -390,6 +394,20 @@ class OriginMqttTunnel:
                 ReconnectSolicitation(self.instance.name), size=48)
         except H2Error:
             pass
+
+    def terminate(self) -> None:
+        """Forced broker-side close (the broker is going away for good).
+
+        Region evacuation uses this for tunnels whose client never
+        completed the solicited DCR splice — e.g. it is partitioned
+        away: the edge stream is reset so the client re-dials once it
+        can, and nothing keeps relaying into the departed broker.
+        """
+        if self.closed:
+            return
+        if not self.stream.reset:
+            self.stream.rst()
+        self._teardown(close_broker=True)
 
     def _teardown(self, close_broker: bool) -> None:
         if self.closed:

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from ..netsim.addresses import Endpoint, FourTuple, Protocol
 from ..netsim.errors import ConnectionRefusedSim
+from ..netsim.proc_utils import TIMED_OUT, with_timeout
 from ..protocols.http2 import GoAwayError, H2Connection, H2Error, H2Stream
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,12 +39,19 @@ class UpstreamPool:
                  origin_vip: Endpoint,
                  origin_router: Callable[[FourTuple], Optional[str]],
                  dial_retries: int = 3,
-                 resilience: Optional["ResiliencePlane"] = None):
+                 resilience: Optional["ResiliencePlane"] = None,
+                 dial_timeout: Optional[float] = None):
         self.instance = instance
         self.origin_vip = origin_vip
         self.origin_router = origin_router
         self.dial_retries = dial_retries
         self.resilience = resilience
+        self.dial_timeout = (dial_timeout if dial_timeout is not None
+                             else instance.config.upstream_dial_timeout)
+        # Cross-region fallback routers expose dial-outcome feedback;
+        # plain katran routes don't — degrade to no-ops.
+        self._note_failure = getattr(origin_router, "note_failure", None)
+        self._note_success = getattr(origin_router, "note_success", None)
         self.current: Optional[H2Connection] = None
         self.dials = 0
 
@@ -100,18 +108,41 @@ class UpstreamPool:
                 self.current = None
                 return
         try:
-            endpoint = yield host.kernel.tcp_connect(
+            attempt = host.kernel.tcp_connect(
                 instance.process, self.origin_vip, via_ip=backend_ip)
+            outcome = yield from with_timeout(
+                host.env, attempt, self.dial_timeout)
         except ConnectionRefusedSim:
             instance.counters.inc("upstream_dial_refused")
             instance.counters.inc("upstream_dial_attempt", tag="refused")
             if breaker is not None:
                 breaker.record_failure()
+            if self._note_failure is not None:
+                self._note_failure(backend_ip)
             self.current = None
             return
+        if outcome is TIMED_OUT or outcome is None:
+            # Blackholed backend (WAN partition, dead region): give up on
+            # this dial, but never leak a handshake that completes late.
+            if attempt.triggered:
+                if attempt._ok:
+                    attempt._value.close()
+            elif attempt.callbacks is not None:
+                attempt.callbacks.append(
+                    lambda ev: ev._value.close() if ev._ok else None)
+            instance.counters.inc("upstream_dial_attempt", tag="timeout")
+            if breaker is not None:
+                breaker.record_failure()
+            if self._note_failure is not None:
+                self._note_failure(backend_ip)
+            self.current = None
+            return
+        endpoint = outcome
         self.dials += 1
         if breaker is not None:
             breaker.record_success()
+        if self._note_success is not None:
+            self._note_success(backend_ip)
         conn = H2Connection(endpoint, role="client")
         conn.start(instance.process)
         self.current = conn

@@ -85,3 +85,59 @@ def test_global_release_with_drain_wait_takes_batches_times_drain():
     for release in releases:
         # 4 batches × (takeover ~0.5s + wait 4s) ≈ 18s.
         assert 16 <= release.duration <= 22
+
+
+# -- per-PoP ECMP across several L4LBs ---------------------------------------
+
+
+def _ecmp_dep(seed=3, l4lbs_per_pop=2):
+    dep = GlobalDeployment(GlobalSpec(
+        seed=seed, pops=2, proxies_per_pop=3,
+        l4lbs_per_pop=l4lbs_per_pop,
+        web_workload=WebWorkloadConfig(clients_per_host=8,
+                                       think_time=0.5)))
+    dep.start()
+    dep.run(until=20)
+    return dep
+
+
+def test_ecmp_spreads_flows_over_every_l4lb():
+    dep = _ecmp_dep()
+    for pop in dep.pops:
+        assert len(pop.l4lbs) == 2
+        assert pop.katran is pop.l4lbs[0]
+        picks = [l4.counters.get("route_hash")
+                 + l4.counters.get("route_table_hit")
+                 + l4.counters.get("route_table_miss")
+                 for l4 in pop.l4lbs]
+        assert all(p > 0 for p in picks), (pop.name, picks)
+
+
+def test_all_l4lbs_of_a_pop_agree_on_backends():
+    dep = _ecmp_dep()
+    for pop in dep.pops:
+        healthy = {tuple(sorted(l4.healthy_backends()))
+                   for l4 in pop.l4lbs}
+        assert healthy == {tuple(sorted(h.ip for h in pop.hosts))}
+
+
+def test_all_katrans_lists_origin_and_every_pop_l4lb():
+    dep = _ecmp_dep()
+    names = {k.name for k in dep.all_katrans()}
+    assert "origin-katran" in names
+    assert {"katran-pop0", "katran-pop0-1",
+            "katran-pop1", "katran-pop1-1"} <= names
+
+
+def test_single_l4lb_keeps_historical_names():
+    dep = GlobalDeployment(GlobalSpec(seed=3, pops=1))
+    assert [l4.name for l4 in dep.pops[0].l4lbs] == ["katran-pop0"]
+
+
+def test_same_seed_global_runs_are_byte_identical():
+    def one_run():
+        dep = _ecmp_dep(seed=9)
+        return {scope: dep.metrics.scoped_counters(scope).snapshot()
+                for scope in dep.metrics.scopes()}
+
+    assert one_run() == one_run()

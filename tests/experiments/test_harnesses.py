@@ -26,7 +26,7 @@ def test_registry_covers_every_figure():
     expected = {"chaos", "resilience", "fig02", "fig02d", "fig03",
                 "fig08", "fig09",
                 "fig10", "fig11", "fig12", "fig13", "fig15", "fig16",
-                "fig17", "lbablation", "opsloop"}
+                "fig17", "lbablation", "opsloop", "regionevac"}
     assert set(ALL_EXPERIMENTS) == expected
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run")
@@ -131,3 +131,16 @@ def test_fig16_model_claims_hold():
         seed=1, edge_proxies=3, drain=4.0)
     assert crosscheck.all_claims_hold
     assert crosscheck.scalars["relative_error"] < 0.2
+
+
+def test_regionevac_claims_hold_and_deterministic():
+    from repro.experiments import region_evac
+    from repro.invariants import runtime as invariant_runtime
+
+    first = region_evac.run(seed=0)
+    assert invariant_runtime.drain() == []
+    assert first.all_claims_hold, first.claims
+    assert first.scalars["evac[lru].stranded_tunnels"] == 0
+    second = region_evac.run(seed=0)
+    invariant_runtime.drain()
+    assert first.scalars == second.scalars

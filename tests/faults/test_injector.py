@@ -273,3 +273,93 @@ def test_takeover_stall_fails_release_then_retry_succeeds():
     # The failed attempt left its trace for the operator.
     assert any("TakeoverFailed" in err
                for err in release.errors.values())
+
+# -- overlapping windows compose and restore ---------------------------------
+
+
+def test_overlapping_slow_host_windows_compose_and_restore():
+    """Two overlapping slowdowns multiply; each clear peels off only its
+    own factor, and the last one restores the exact base speed."""
+    plan = _plan(
+        FaultSpec("slow_host", where="appserver-0", at=1.0, duration=8.0,
+                  params={"speed_factor": 0.5}),
+        FaultSpec("slow_host", where="appserver-0", at=3.0, duration=2.0,
+                  params={"speed_factor": 0.1}))
+    dep = _deployment(plan)
+    host = dep.app_hosts[0]
+    original = host.cpu.speed
+    dep.run(until=2.0)
+    assert host.cpu.speed == pytest.approx(original * 0.5)
+    dep.run(until=4.0)  # both active
+    assert host.cpu.speed == pytest.approx(original * 0.5 * 0.1)
+    dep.run(until=6.0)  # inner window cleared: outer factor survives
+    assert host.cpu.speed == pytest.approx(original * 0.5)
+    dep.run(until=12.0)  # outer cleared: exact base back
+    assert host.cpu.speed == original
+
+
+def test_overlapping_link_overrides_unwind_in_any_order():
+    """A partition layered over a degradation: clearing the earlier
+    (longer) degradation must not resurrect the pre-partition profile,
+    and clearing both must restore the exact original object."""
+    plan = _plan(
+        FaultSpec("link_degradation", where="client:edge", at=1.0,
+                  duration=10.0, params={"latency_multiplier": 3.0}),
+        FaultSpec("wan_partition", where="client:edge", at=2.0,
+                  duration=12.0))
+    dep = _deployment(plan)
+    original = dep.network.get_profile("client", "edge")
+    dep.run(until=1.5)
+    assert dep.network.get_profile("client", "edge").latency == \
+        pytest.approx(original.latency * 3.0)
+    dep.run(until=3.0)  # both: degraded latency AND total loss
+    stacked = dep.network.get_profile("client", "edge")
+    assert stacked.loss == 1.0
+    assert stacked.latency == pytest.approx(original.latency * 3.0)
+    dep.run(until=12.0)  # degradation cleared; partition still up
+    assert dep.network.get_profile("client", "edge").loss == 1.0
+    assert dep.network.get_profile("client", "edge").latency == \
+        pytest.approx(original.latency)
+    dep.run(until=16.0)  # all cleared: the exact base object returns
+    assert dep.network.get_profile("client", "edge") == original
+
+
+# -- region-scale kinds -------------------------------------------------------
+
+
+def test_wan_partition_blackholes_and_restores_matched_pairs():
+    plan = _plan(FaultSpec("wan_partition", where="client:edge", at=1.0,
+                           duration=3.0))
+    dep = _deployment(plan)
+    original = dep.network.get_profile("client", "edge")
+    dep.run(until=2.0)
+    assert dep.network.get_profile("client", "edge").loss == 1.0
+    assert dep.network.get_profile("edge", "client").loss == 1.0
+    record = dep.fault_injector.records[0]
+    assert sorted(record.targets) == ["client:edge", "edge:client"]
+    dep.run(until=6.0)
+    assert dep.network.get_profile("client", "edge") == original
+
+
+def test_region_outage_is_correlated_host_crash_by_site_glob():
+    plan = _plan(FaultSpec("region_outage", where="edge*", at=2.0,
+                           duration=6.0))
+    dep = _deployment(plan)
+    dep.run(until=3.0)
+    # Every edge proxy died together; the origin tier is untouched.
+    assert all(s.instance_count == 0 for s in dep.edge_servers)
+    assert all(s.active_instance is not None
+               for s in dep.origin_servers)
+    dep.run(until=20.0)
+    assert all(s.instance_count == 1 for s in dep.edge_servers)
+
+
+def test_site_glob_targets_every_host_on_matched_sites():
+    plan = _plan(FaultSpec("slow_host", where="origin", at=1.0,
+                           duration=2.0, params={"speed_factor": 0.5}))
+    dep = _deployment(plan)
+    dep.run(until=1.5)
+    record = dep.fault_injector.records[0]
+    slowed = set(record.targets)
+    expected = {h.name for h in dep.network.hosts() if h.site == "origin"}
+    assert slowed == expected

@@ -84,3 +84,47 @@ def test_load_shape_roundtrips_and_replays():
     first = run_scenario(scenario)
     second = run_scenario(scenario)
     assert first.violated_checkers() == second.violated_checkers()
+
+
+def test_regions_field_roundtrips():
+    scenario = dataclasses.replace(generate_scenario(0), regions=3)
+    restored = Scenario.from_json(scenario.to_json())
+    assert restored.regions == 3
+    assert restored == scenario
+    assert "regions=3" in scenario.describe()
+
+
+def test_generation_sometimes_draws_multiple_regions():
+    drawn = {generate_scenario(seed).regions for seed in range(40)}
+    assert drawn - {1}   # multi-region scenarios occur...
+    assert 1 in drawn    # ...but the classic cluster still dominates
+
+
+def test_region_faults_only_target_regional_machinery():
+    for seed in range(40):
+        scenario = generate_scenario(seed)
+        if scenario.regions == 1:
+            continue
+        for entry in scenario.faults:
+            assert entry["kind"] in ("wan_partition", "region_outage")
+            assert entry["where"].startswith("r")
+        scenario.fault_plan()  # validates every spec
+
+
+def test_planted_runs_stay_single_region():
+    for seed in range(40):
+        scenario = generate_scenario(seed, planted="leak_takeover_fd")
+        assert scenario.regions == 1
+
+
+def test_multi_region_scenario_replays_clean():
+    from repro.fuzz.runner import run_scenario
+
+    seed = next(s for s in range(40)
+                if generate_scenario(s).regions > 1)
+    scenario = generate_scenario(seed)
+    first = run_scenario(scenario)
+    assert first.ok, [str(v) for v in first.violations]
+    second = run_scenario(scenario)
+    assert second.stats["get_ok"] == first.stats["get_ok"]
+    assert second.stats["post_ok"] == first.stats["post_ok"]

@@ -21,7 +21,8 @@ EXPECTED_CHECKERS = {
     "fd-conservation", "reuseport-stability", "request-conservation",
     "ppr-exactly-once", "mqtt-continuity", "capacity-floor",
     "drain-monotonicity", "retry-budget-sanity", "lb-routing-guarantee",
-    "autoscaler-discipline",
+    "autoscaler-discipline", "evacuation-completeness",
+    "cross-region-continuity",
 }
 
 
