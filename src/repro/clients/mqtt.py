@@ -59,6 +59,10 @@ class MqttWorkloadConfig:
 class MqttClientPopulation:
     """Pub/sub users behind the Edge."""
 
+    #: Protocol kind, for per-population load shaping (repro.ops.load)
+    #: and the cohort layer (repro.cohorts).
+    kind = "mqtt"
+
     def __init__(self, hosts: list[Host], vip: Endpoint, router: Router,
                  metrics: MetricsRegistry,
                  config: MqttWorkloadConfig | None = None,
@@ -71,6 +75,7 @@ class MqttClientPopulation:
         self.name = name
         self.counters = metrics.scoped_counters(name)
         self._next_user = first_user_id
+        self._bases: dict[int, ClientBase] = {}
         #: Arrival-rate multiplier (repro.ops.load): publish pacing is
         #: divided by this — one attribute read per publish.
         self.rate_scale = 1.0
@@ -79,16 +84,25 @@ class MqttClientPopulation:
         self.rate_scale = max(0.01, scale)
 
     def start(self) -> None:
-        for host in self.hosts:
-            base = ClientBase(host, self.name, self.vip, self.router,
-                              self.metrics)
-            for _ in range(self.config.users_per_host):
-                user_id = self._next_user
-                self._next_user += 1
-                process = host.spawn(f"mqtt-user-{user_id}")
-                sampler = DistributionSampler(
-                    host.streams.stream(f"mqtt-{user_id}"))
-                process.run(self._user_loop(base, process, user_id, sampler))
+        for index in range(len(self.hosts)):
+            self.spawn_clients(self.config.users_per_host,
+                               host_index=index)
+
+    def spawn_clients(self, count: int, host_index: int = 0) -> None:
+        """Spawn ``count`` more users on one host — callable mid-run
+        (the cohort layer condenses solo flows out of a fluid this way)."""
+        host = self.hosts[host_index]
+        base = self._bases.get(host_index)
+        if base is None:
+            base = self._bases[host_index] = ClientBase(
+                host, self.name, self.vip, self.router, self.metrics)
+        for _ in range(count):
+            user_id = self._next_user
+            self._next_user += 1
+            process = host.spawn(f"mqtt-user-{user_id}")
+            sampler = DistributionSampler(
+                host.streams.stream(f"mqtt-{user_id}"))
+            process.run(self._user_loop(base, process, user_id, sampler))
 
     def _user_loop(self, base: ClientBase, process: SimProcess,
                    user_id: int, sampler: DistributionSampler):

@@ -41,10 +41,14 @@ class QuicWorkloadConfig:
 class QuicClientPopulation:
     """Long-lived QUIC flows toward the edge's UDP VIP."""
 
+    #: Protocol kind, for per-population load shaping (repro.ops.load)
+    #: and the cohort layer (repro.cohorts).
+    kind = "quic"
+
     def __init__(self, hosts: list[Host], vip: Endpoint, router: Router,
                  metrics: MetricsRegistry,
                  config: QuicWorkloadConfig | None = None,
-                 name: str = "quic-clients"):
+                 name: str = "quic-clients", first_flow_id: int = 1):
         self.hosts = hosts
         self.vip = vip
         self.router = router
@@ -52,7 +56,7 @@ class QuicClientPopulation:
         self.config = config or QuicWorkloadConfig()
         self.name = name
         self.counters = metrics.scoped_counters(name)
-        self._serial = 0
+        self._serial = first_flow_id - 1
         #: Arrival-rate multiplier (repro.ops.load): packet pacing is
         #: divided by this — one attribute read per packet.
         self.rate_scale = 1.0
@@ -61,13 +65,20 @@ class QuicClientPopulation:
         self.rate_scale = max(0.01, scale)
 
     def start(self) -> None:
-        for host in self.hosts:
-            for _ in range(self.config.flows_per_host):
-                self._serial += 1
-                process = host.spawn(f"quic-flow-{self._serial}")
-                sampler = DistributionSampler(
-                    host.streams.stream(f"quic-{self._serial}"))
-                process.run(self._flow_loop(host, process, sampler))
+        for index in range(len(self.hosts)):
+            self.spawn_clients(self.config.flows_per_host,
+                               host_index=index)
+
+    def spawn_clients(self, count: int, host_index: int = 0) -> None:
+        """Spawn ``count`` more flows on one host — callable mid-run
+        (the cohort layer condenses solo flows out of a fluid this way)."""
+        host = self.hosts[host_index]
+        for _ in range(count):
+            self._serial += 1
+            process = host.spawn(f"quic-flow-{self._serial}")
+            sampler = DistributionSampler(
+                host.streams.stream(f"quic-{self._serial}"))
+            process.run(self._flow_loop(host, process, sampler))
 
     def _flow_loop(self, host: Host, process: SimProcess,
                    sampler: DistributionSampler):

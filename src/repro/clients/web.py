@@ -59,10 +59,14 @@ class WebWorkloadConfig:
 class WebClientPopulation:
     """Many web users spread over a few client hosts."""
 
+    #: Protocol kind, for per-population load shaping (repro.ops.load)
+    #: and the cohort layer (repro.cohorts).
+    kind = "web"
+
     def __init__(self, hosts: list[Host], vip: Endpoint, router: Router,
                  metrics: MetricsRegistry,
                  config: WebWorkloadConfig | None = None,
-                 name: str = "web-clients"):
+                 name: str = "web-clients", first_client_id: int = 1):
         self.hosts = hosts
         self.vip = vip
         self.router = router
@@ -70,7 +74,8 @@ class WebClientPopulation:
         self.config = config or WebWorkloadConfig()
         self.name = name
         self.counters = metrics.scoped_counters(name)
-        self._client_serial = 0
+        self._client_serial = first_client_id - 1
+        self._bases: dict[int, ClientBase] = {}
         #: Requests currently between "started" and their terminal
         #: counter, per kind — the request-conservation invariant's
         #: balancing term.
@@ -85,15 +90,24 @@ class WebClientPopulation:
 
     def start(self) -> None:
         """Spawn every client's driver process."""
-        for host in self.hosts:
-            base = ClientBase(host, self.name, self.vip, self.router,
-                              self.metrics)
-            for _ in range(self.config.clients_per_host):
-                self._client_serial += 1
-                process = host.spawn(f"web-client-{self._client_serial}")
-                sampler = DistributionSampler(
-                    host.streams.stream(f"web-{self._client_serial}"))
-                process.run(self._client_loop(base, process, sampler))
+        for index in range(len(self.hosts)):
+            self.spawn_clients(self.config.clients_per_host,
+                               host_index=index)
+
+    def spawn_clients(self, count: int, host_index: int = 0) -> None:
+        """Spawn ``count`` more clients on one host — callable mid-run
+        (the cohort layer condenses solo flows out of a fluid this way)."""
+        host = self.hosts[host_index]
+        base = self._bases.get(host_index)
+        if base is None:
+            base = self._bases[host_index] = ClientBase(
+                host, self.name, self.vip, self.router, self.metrics)
+        for _ in range(count):
+            self._client_serial += 1
+            process = host.spawn(f"web-client-{self._client_serial}")
+            sampler = DistributionSampler(
+                host.streams.stream(f"web-{self._client_serial}"))
+            process.run(self._client_loop(base, process, sampler))
 
     # -- the per-client driver ------------------------------------------------
 

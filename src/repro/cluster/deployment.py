@@ -18,6 +18,12 @@ from ..appserver.pool import AppServerPool
 from ..clients.mqtt import MqttClientPopulation
 from ..clients.quic import QuicClientPopulation
 from ..clients.web import WebClientPopulation
+from ..cohorts import (
+    CohortDriver,
+    CohortSet,
+    ambient_cohorts,
+    compile_cohorts,
+)
 from ..faults.injector import FaultInjector, ambient_plan
 from ..faults.plan import FaultPlan
 from ..lb.consistent_hash import ConsistentHashRing
@@ -87,6 +93,11 @@ class Deployment:
         self.web_clients: Optional[WebClientPopulation] = None
         self.mqtt_clients: Optional[MqttClientPopulation] = None
         self.quic_clients: Optional[QuicClientPopulation] = None
+        #: Cohort client layer (repro.cohorts): set when the spec (or
+        #: the ambient ``--cohorts`` policy) enables it, in which case
+        #: the three population attributes above stay None and lanes
+        #: are reached through ``web_populations`` etc.
+        self.cohort_set: Optional[CohortSet] = None
 
         #: Autoscalers attached to this deployment (repro.ops.autoscale)
         #: — the autoscaler-discipline invariant checker audits these.
@@ -217,42 +228,72 @@ class Deployment:
             config=katran_config, name="edge-katran",
             hc_vip=edge_https)
 
-        # Client populations.
+        # Client populations.  The spec's cohort policy wins; the
+        # ambient one (the CLI's ``--cohorts``) applies otherwise.
+        cohort_policy = spec.cohorts
+        if cohort_policy is None:
+            cohort_policy = ambient_cohorts()
+        if cohort_policy is not None and not cohort_policy.enabled:
+            cohort_policy = None
         edge_route = lambda flow: self.edge_katran.route(flow)  # noqa: E731
-        if spec.web_workload is not None:
-            hosts = [self._host(f"web-clients-{i}", "client",
+        workloads = (
+            ("web", spec.web_workload, spec.web_client_hosts,
+             "clients_per_host", edge_https),
+            ("mqtt", spec.mqtt_workload, spec.mqtt_client_hosts,
+             "users_per_host", Endpoint(spec.edge_vip_ip, spec.mqtt_port)),
+            ("quic", spec.quic_workload, spec.quic_client_hosts,
+             "flows_per_host", Endpoint(spec.edge_vip_ip, spec.https_port)),
+        )
+        drivers: list[CohortDriver] = []
+        cohort_index = 0
+        for kind, workload, host_count, count_field, vip in workloads:
+            if workload is None:
+                continue
+            hosts = [self._host(f"{kind}-clients-{i}", "client",
                                 spec.client_cores, spec.client_core_speed)
-                     for i in range(spec.web_client_hosts)]
-            self.client_hosts["web"] = hosts
-            self.web_clients = WebClientPopulation(
-                hosts, edge_https, edge_route, self.metrics,
-                spec.web_workload)
-        if spec.mqtt_workload is not None:
-            hosts = [self._host(f"mqtt-clients-{i}", "client",
-                                spec.client_cores, spec.client_core_speed)
-                     for i in range(spec.mqtt_client_hosts)]
-            self.client_hosts["mqtt"] = hosts
-            self.mqtt_clients = MqttClientPopulation(
-                hosts, Endpoint(spec.edge_vip_ip, spec.mqtt_port),
-                edge_route, self.metrics, spec.mqtt_workload)
-        if spec.quic_workload is not None:
-            hosts = [self._host(f"quic-clients-{i}", "client",
-                                spec.client_cores, spec.client_core_speed)
-                     for i in range(spec.quic_client_hosts)]
-            self.client_hosts["quic"] = hosts
-            self.quic_clients = QuicClientPopulation(
-                hosts, Endpoint(spec.edge_vip_ip, spec.https_port),
-                edge_route, self.metrics, spec.quic_workload)
+                     for i in range(host_count)]
+            self.client_hosts[kind] = hosts
+            if cohort_policy is None:
+                population = {
+                    "web": WebClientPopulation,
+                    "mqtt": MqttClientPopulation,
+                    "quic": QuicClientPopulation,
+                }[kind](hosts, vip, edge_route, self.metrics, workload)
+                setattr(self, f"{kind}_clients", population)
+                continue
+            # Cohort mode: one cohort per client host, IDs continuing
+            # across cohorts so the condensed rung reproduces the
+            # individual host-major spawn order exactly.
+            first_id = 1
+            cohorts = compile_cohorts(cohort_policy, kind,
+                                      getattr(workload, count_field),
+                                      host_count)
+            for i, cohort in enumerate(cohorts):
+                driver = CohortDriver(
+                    cohort, cohort_policy, hosts[i], vip, edge_route,
+                    self.metrics, workload,
+                    scope=f"{kind}-clients/{cohort.name}",
+                    first_id=first_id, cohort_index=cohort_index)
+                first_id += driver.spawned
+                cohort_index += 1
+                drivers.append(driver)
+        if cohort_policy is not None:
+            self.cohort_set = CohortSet(self, drivers, cohort_policy)
 
         # Load shape (repro.ops.load): the spec's own shape wins; the
         # ambient one (the CLI's ``--load-shape``) applies otherwise.
+        # In cohort mode the controller drives the cohort drivers
+        # directly (each fans the scale into its lanes).
         load_shape = spec.load_shape
         if load_shape is None:
             load_shape = ambient_load_shape()
         if load_shape is not None:
+            targets = (list(self.cohort_set.drivers)
+                       if self.cohort_set is not None
+                       else [self.web_clients, self.mqtt_clients,
+                             self.quic_clients])
             self.load_controller = LoadController(
-                self.env, LoadShape(load_shape),
-                [self.web_clients, self.mqtt_clients, self.quic_clients],
+                self.env, LoadShape(load_shape), targets,
                 metrics=self.metrics)
 
     # -- dynamic membership (repro.ops.autoscale) ----------------------------
@@ -344,6 +385,8 @@ class Deployment:
         self.origin_katran.start(
             self.origin_katran.host.spawn("origin-katran"))
         self.edge_katran.start(self.edge_katran.host.spawn("edge-katran"))
+        if self.cohort_set is not None:
+            self.cohort_set.start()
         if self.web_clients is not None:
             self.web_clients.start()
         if self.mqtt_clients is not None:
@@ -362,8 +405,24 @@ class Deployment:
     @property
     def web_populations(self) -> list:
         """Every web client population (the invariant checkers iterate
-        this so single- and multi-region deployments look alike)."""
+        this so single- and multi-region deployments look alike).  In
+        cohort mode, every web lane — representative and solo alike —
+        appears here, so per-lane conservation keeps being checked."""
+        if self.cohort_set is not None:
+            return self.cohort_set.populations("web")
         return [] if self.web_clients is None else [self.web_clients]
+
+    @property
+    def mqtt_populations(self) -> list:
+        if self.cohort_set is not None:
+            return self.cohort_set.populations("mqtt")
+        return [] if self.mqtt_clients is None else [self.mqtt_clients]
+
+    @property
+    def quic_populations(self) -> list:
+        if self.cohort_set is not None:
+            return self.cohort_set.populations("quic")
+        return [] if self.quic_clients is None else [self.quic_clients]
 
     def all_katrans(self) -> list:
         """Every L4LB in the deployment (fault injection / checkers)."""

@@ -10,6 +10,7 @@ from ..appserver.config import AppServerConfig
 from ..clients.mqtt import MqttWorkloadConfig
 from ..clients.quic import QuicWorkloadConfig
 from ..clients.web import WebWorkloadConfig
+from ..cohorts.spec import CohortPolicy
 from ..lb.katran import KatranConfig
 from ..ops.load import LoadShapeConfig
 from ..proxygen.config import ProxygenConfig
@@ -66,6 +67,11 @@ class DeploymentSpec:
     #: keeps the historical constant-rate behaviour (or the ambient
     #: shape set by the CLI's ``--load-shape``).
     load_shape: Optional[LoadShapeConfig] = None
+    #: Cohort client layer (repro.cohorts); None keeps one SimProcess
+    #: per client (or applies the ambient policy set by the CLI's
+    #: ``--cohorts``).  With a policy, each client host's workload
+    #: becomes one cohort scoped under ``<population>/c<i>``.
+    cohorts: Optional[CohortPolicy] = None
 
     # Workloads (None → population not started)
     web_workload: Optional[WebWorkloadConfig] = field(

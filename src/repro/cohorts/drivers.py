@@ -1,0 +1,235 @@
+"""Cohort drivers: one per cohort, wrapping the classic populations.
+
+A driver owns up to two *lanes*, each a real client population from
+:mod:`repro.clients` (so every behaviour — Retry-After honoring, DCR
+solicitations, QUIC re-establishment — is the battle-tested code, not
+a parallel reimplementation):
+
+* the **representative lane** (scope ``<pop>/c<i>``): the cohort's
+  flow processes.  On the condensed rung it holds one process per
+  modeled client with the *same* RNG stream names, host placement and
+  spawn order as individual mode — which is why condensed runs are
+  bit-identical to individual runs.  On the aggregate rung it holds K
+  weighted representatives (``weight = size / K``).
+* the **solo lane** (scope ``<pop>/c<i>/solo``): weight-1 flows the
+  cohort condenses out when a mechanism needs per-flow fidelity.
+  Created lazily on first condensation; empty on the condensed rung
+  (condensation is a no-op there — parity again).
+
+The :class:`CohortSet` is the deployment-facing bundle: it starts the
+drivers, fans ``rate_scale`` updates from the
+:class:`repro.ops.load.LoadController` into every lane, and registers a
+release observer so takeover/DCR/PPR windows (which live inside release
+walks) trigger condensation on aggregate cohorts.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import replace
+from typing import Optional
+
+from ..clients.mqtt import MqttClientPopulation
+from ..clients.quic import QuicClientPopulation
+from ..clients.web import WebClientPopulation
+from ..release import orchestrator as release_orchestrator
+from .aggregate import CohortAggregate
+from .spec import CohortPolicy, CohortSpec
+
+__all__ = ["CohortDriver", "CohortSet"]
+
+#: protocol → (population class, config count field, first-id kwarg).
+_PROTOCOLS = {
+    "web": (WebClientPopulation, "clients_per_host", "first_client_id"),
+    "mqtt": (MqttClientPopulation, "users_per_host", "first_user_id"),
+    "quic": (QuicClientPopulation, "flows_per_host", "first_flow_id"),
+}
+
+#: Solo-lane client IDs start far above any representative ID so the
+#: two lanes on one host never share a per-client RNG stream name.
+_SOLO_ID_BASE = 1_000_000
+_SOLO_ID_STRIDE = 10_000
+
+
+def _int_counts(snapshot: dict[str, float]) -> dict[str, int]:
+    """Counter snapshots as exact integers (client counters only ever
+    increment by 1, so the float values are integral by construction)."""
+    return {name: int(round(value))
+            for name, value in snapshot.items() if value}
+
+
+class CohortDriver:
+    """One cohort: a representative lane plus an optional solo lane."""
+
+    def __init__(self, cohort: CohortSpec, policy: CohortPolicy,
+                 host, vip, router, metrics, workload,
+                 scope: str, first_id: int, cohort_index: int):
+        self.cohort = cohort
+        self.policy = policy
+        self.metrics = metrics
+        self.scope = scope
+        self.kind = cohort.protocol
+        self.fidelity = cohort.resolved_fidelity(policy)
+        if self.fidelity == "condensed":
+            self.spawned = cohort.size
+            self.weight = 1.0
+        else:
+            self.spawned = cohort.representatives(policy)
+            self.weight = cohort.size / self.spawned
+        cls, count_field, first_field = _PROTOCOLS[cohort.protocol]
+        self.population = cls(
+            [host], vip, router, metrics,
+            replace(workload, **{count_field: self.spawned}),
+            name=scope, **{first_field: first_id})
+        solo_first = _SOLO_ID_BASE + cohort_index * _SOLO_ID_STRIDE + 1
+
+        def make_solo():
+            return cls([host], vip, router, metrics,
+                       replace(workload, **{count_field: 0}),
+                       name=f"{scope}/solo", **{first_field: solo_first})
+
+        self._make_solo = make_solo
+        self.solo_population: Optional[object] = None
+        #: The LoadController-driven multiplier; composed with the
+        #: cohort's own rate_scale before reaching the lanes.
+        self.rate_scale = 1.0
+        self.condensed_flows = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        self.population.start()
+        if self.cohort.rate_scale != 1.0:
+            self._push_rate_scale()
+
+    @property
+    def populations(self) -> list:
+        lanes = [self.population]
+        if self.solo_population is not None:
+            lanes.append(self.solo_population)
+        return lanes
+
+    # -- load control (repro.ops.load drives this) -----------------------
+
+    def set_rate_scale(self, scale: float) -> None:
+        self.rate_scale = max(0.01, scale)
+        self._push_rate_scale()
+
+    def _push_rate_scale(self) -> None:
+        effective = self.rate_scale * self.cohort.rate_scale
+        for lane in self.populations:
+            lane.set_rate_scale(effective)
+
+    # -- condensation ----------------------------------------------------
+
+    def condense(self, count: int) -> int:
+        """Peel ``count`` weight-1 solo flows off the fluid.
+
+        No-op on the condensed rung: every flow already runs at full
+        fidelity there, and spawning extras would break parity with
+        individual mode.
+        """
+        if self.fidelity != "aggregate" or count <= 0:
+            return 0
+        if self.solo_population is None:
+            self.solo_population = self._make_solo()
+            self._push_rate_scale()
+        self.solo_population.spawn_clients(count)
+        self.condensed_flows += count
+        return count
+
+    # -- accounting ------------------------------------------------------
+
+    def aggregate(self) -> CohortAggregate:
+        """Fold both lanes' raw counters into this cohort's aggregate."""
+        solo = ({} if self.solo_population is None
+                else _int_counts(self.solo_population.counters.snapshot()))
+        return CohortAggregate(
+            cohort=self.scope, size=self.cohort.size, weight=self.weight,
+            rep_counts=_int_counts(self.population.counters.snapshot()),
+            solo_counts=solo)
+
+    def modeled_inflight(self) -> dict[str, float]:
+        """Weighted in-flight requests (web lanes only: the balancing
+        term of the weighted conservation check)."""
+        out: dict[str, float] = {}
+        rep_inflight = getattr(self.population, "inflight", None)
+        if rep_inflight is not None:
+            for kind, value in rep_inflight.items():
+                out[kind] = out.get(kind, 0.0) + value * self.weight
+        if self.solo_population is not None:
+            for kind, value in getattr(self.solo_population, "inflight",
+                                       {}).items():
+                out[kind] = out.get(kind, 0.0) + value
+        return out
+
+
+class CohortSet:
+    """Every cohort of one deployment, plus the condensation trigger."""
+
+    def __init__(self, deployment, drivers: list[CohortDriver],
+                 policy: CohortPolicy):
+        self.deployment = deployment
+        self.drivers = drivers
+        self.policy = policy
+        self.counters = deployment.metrics.scoped_counters("cohorts")
+        self._observer = None
+
+    def start(self) -> None:
+        for driver in self.drivers:
+            driver.start()
+        if (self.policy.condense_per_event > 0
+                and any(d.fidelity == "aggregate" for d in self.drivers)):
+            self._install_observer()
+
+    # -- views -----------------------------------------------------------
+
+    def drivers_of(self, kind: str) -> list[CohortDriver]:
+        return [d for d in self.drivers if d.kind == kind]
+
+    def populations(self, kind: Optional[str] = None) -> list:
+        return [lane for driver in self.drivers
+                if kind is None or driver.kind == kind
+                for lane in driver.populations]
+
+    def aggregates(self) -> list[CohortAggregate]:
+        return [driver.aggregate() for driver in self.drivers]
+
+    # -- condensation trigger --------------------------------------------
+
+    def _install_observer(self) -> None:
+        """Watch the release orchestrator for walks touching us.
+
+        The observer holds only a weak reference: once the deployment
+        (and with it this set) is garbage, the next release event
+        unhooks the observer — module-global observer lists must not
+        accumulate dead sets across the hundreds of runs one test
+        process performs.
+        """
+        ref = weakref.ref(self)
+
+        def observer(phase: str, release) -> None:
+            cohort_set = ref()
+            if cohort_set is None:
+                release_orchestrator.remove_release_observer(observer)
+                return
+            cohort_set._on_release(phase, release)
+
+        self._observer = observer
+        release_orchestrator.add_release_observer(observer)
+
+    def _on_release(self, phase: str, release) -> None:
+        if phase != "begin":
+            return
+        deployment = self.deployment
+        ours = {id(s) for s in (deployment.edge_servers
+                                + deployment.origin_servers
+                                + deployment.app_servers)}
+        if not any(id(target) in ours for target in release.targets):
+            return
+        condensed = 0
+        for driver in self.drivers:
+            condensed += driver.condense(self.policy.condense_per_event)
+        if condensed:
+            self.counters.inc("condensations")
+            self.counters.inc("condensed_flows", amount=condensed)

@@ -20,6 +20,8 @@ import argparse
 import sys
 import time
 
+from ..cohorts import COHORT_FIDELITIES, CohortPolicy, \
+    clear_ambient_cohorts, set_ambient_cohorts
 from ..faults import BUILTIN_PLANS, builtin_plan, clear_ambient_plan, \
     set_ambient_plan
 from ..invariants import runtime as invariant_runtime
@@ -68,6 +70,18 @@ def main(argv=None) -> int:
     parser.add_argument("--load-horizon", type=float, default=60.0,
                         help="with --load-shape: sim seconds the shape's "
                              "timings are scaled to")
+    parser.add_argument("--cohorts", type=int, metavar="SCALE",
+                        default=None,
+                        help="drive clients through the cohort layer "
+                             "(repro.cohorts) with this client-count "
+                             "multiplier (1 = same size, 100 = the "
+                             "100x fluid)")
+    parser.add_argument("--cohort-fidelity", choices=list(COHORT_FIDELITIES),
+                        default="auto",
+                        help="with --cohorts: fidelity ladder rung "
+                             "(default: auto — condensed below 256 "
+                             "modeled clients per cohort, aggregate "
+                             "above)")
     parser.add_argument("--canary", action="store_true",
                         help="gate every rolling release behind canary "
                              "analysis (repro.ops.canary) with default "
@@ -108,6 +122,14 @@ def main(argv=None) -> int:
     if args.load_shape is not None:
         set_ambient_load_shape(
             named_load_shape(args.load_shape, args.load_horizon))
+
+    if args.cohorts is not None:
+        try:
+            set_ambient_cohorts(CohortPolicy(
+                fidelity=args.cohort_fidelity, scale=args.cohorts))
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
 
     if args.canary:
         set_ambient_release_gate(
@@ -165,6 +187,7 @@ def main(argv=None) -> int:
         clear_ambient_resilience()
         clear_ambient_lb_scheme()
         clear_ambient_load_shape()
+        clear_ambient_cohorts()
         clear_ambient_release_gate()
         trace_runtime.clear_ambient_trace()
         trace_runtime.drain()

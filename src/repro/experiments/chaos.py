@@ -73,8 +73,8 @@ def run_arm(zdr: bool, plan_name: str = "hc-flap-storm", seed: int = 0,
     dep.env.process(release.execute())
     dep.run(until=warmup + measure)
 
-    clients = dep.metrics.scoped_counters("web-clients")
-    mqtt = dep.metrics.scoped_counters("mqtt-clients")
+    clients = dep.metrics.prefix_counters("web-clients")
+    mqtt = dep.metrics.prefix_counters("mqtt-clients")
     errors = (clients.get("get_conn_reset") + clients.get("post_conn_reset")
               + clients.get("get_error") + clients.get("post_error")
               + clients.get("get_timeout") + clients.get("post_timeout")

@@ -48,7 +48,7 @@ def run_arm(enable_ppr: bool, seed: int = 0, restarts: int = 6,
             - before_rescued)
 
     posts_started = sum_counter(dep.origin_servers, "post_started")
-    clients = dep.metrics.scoped_counters("web-clients")
+    clients = dep.metrics.prefix_counters("web-clients")
     return {
         "per_restart_rescued": per_restart_rescued,
         "rescued_total": sum_counter(dep.origin_servers, "ppr_379_received"),

@@ -58,8 +58,8 @@ def run_arm(zdr: bool, seed: int = 0, warmup: float = 25.0,
     dep.env.process(full_release())
     dep.run(until=warmup + measure)
 
-    clients = dep.metrics.scoped_counters("web-clients")
-    mqtt = dep.metrics.scoped_counters("mqtt-clients")
+    clients = dep.metrics.prefix_counters("web-clients")
+    mqtt = dep.metrics.prefix_counters("mqtt-clients")
     return {
         # RSTs that terminated client connections (measured client-side
         # plus broken MQTT transports — Fig 12's "conn. rst").

@@ -141,7 +141,7 @@ def run_arm(gated: bool, seed: int = 0, day_length: float = 120.0,
     deployment.env.process(_start_at_wave())
     deployment.run(until=day_length)
 
-    clients = deployment.metrics.scoped_counters("web-clients")
+    clients = deployment.metrics.prefix_counters("web-clients")
     errors = (clients.get("get_error") + clients.get("post_error")
               + clients.get("get_timeout") + clients.get("post_timeout")
               + clients.get("get_conn_reset")

@@ -110,7 +110,7 @@ def run_arm(resilience_on: bool, seed: int = 0, warmup: float = 10.0,
         fault_plan=_fault_plan(at=warmup))
     dep.run(until=warmup + measure)
 
-    clients = dep.metrics.scoped_counters("web-clients")
+    clients = dep.metrics.prefix_counters("web-clients")
     errors = (clients.get("get_conn_reset") + clients.get("post_conn_reset")
               + clients.get("get_error") + clients.get("post_error")
               + clients.get("get_timeout") + clients.get("post_timeout")

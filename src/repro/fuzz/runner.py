@@ -19,6 +19,7 @@ from ..clients.quic import QuicWorkloadConfig
 from ..clients.web import WebWorkloadConfig
 from ..cluster.deployment import Deployment
 from ..cluster.spec import DeploymentSpec
+from ..cohorts import CohortPolicy
 from ..invariants import InvariantSuite, InvariantViolation, make_checkers
 from ..lb.katran import KatranConfig
 from ..ops.load import named_load_shape
@@ -80,6 +81,8 @@ def _build_spec(scenario: Scenario) -> DeploymentSpec:
         load_shape=(named_load_shape(scenario.load_shape,
                                      scenario.duration)
                     if scenario.load_shape else None),
+        cohorts=(CohortPolicy.from_dict(scenario.cohorts)
+                 if scenario.cohorts else None),
         web_workload=(WebWorkloadConfig(
             clients_per_host=scenario.web_clients,
             post_fraction=scenario.post_fraction,
@@ -210,6 +213,12 @@ def run_scenario(scenario: Scenario,
             "get_ok", scope_prefix="web-clients"),
         "post_ok": deployment.metrics.aggregate(
             "post_ok", scope_prefix="web-clients"),
+        # Mechanism coverage: lets a repro file assert the run actually
+        # exercised DCR / PPR / cohort condensation, not just finished.
+        "dcr_rehomed": deployment.metrics.aggregate("dcr_rehomed"),
+        "ppr_replays": deployment.metrics.aggregate("ppr_379_received"),
+        "cohort_condensations": deployment.metrics.aggregate(
+            "condensations", scope_prefix="cohorts"),
         "checkers": suite.checker_names(),
     }
     if deployment.fault_injector is not None:

@@ -63,6 +63,9 @@ class Scenario:
     #: >1 builds a :class:`repro.regions.RegionalDeployment` (per-pop
     #: client/proxy counts reuse the single-region fields above).
     regions: int = 1
+    #: Cohort client layer: :class:`repro.cohorts.CohortPolicy` kwargs
+    #: (``to_dict`` form), or None for one SimProcess per client.
+    cohorts: Optional[dict] = None
 
     # -- serialization ---------------------------------------------------
 
@@ -112,6 +115,10 @@ class Scenario:
                 f"releases={len(self.releases)}"]
         if self.regions > 1:
             bits.append(f"regions={self.regions}")
+        if self.cohorts:
+            bits.append(
+                f"cohorts={self.cohorts.get('fidelity', 'auto')}"
+                f"×{self.cohorts.get('scale', 1)}")
         if self.planted:
             bits.append(f"planted={self.planted}")
         return " ".join(bits)
@@ -235,6 +242,16 @@ def generate_scenario(seed: int, planted: Optional[str] = None) -> Scenario:
         # composable with link_degradation by construction.
         scenario.faults.append(
             _fault_entry(rng, "wan_partition", duration))
+    # Cohort draws come after the regions block (same LAST-draw rule):
+    # every draw above is bit-identical to pre-cohort seeds.  Planted
+    # faults stay on the individual-client path they were calibrated
+    # against, and regional deployments do not take a cohort policy yet.
+    if planted is None and scenario.regions == 1 and rng.random() < 0.35:
+        scenario.cohorts = {
+            "fidelity": rng.choice(("auto", "auto", "aggregate")),
+            "scale": rng.choice((1, 1, 2, 4)),
+            "condense_per_event": rng.choice((0, 1, 2, 2)),
+        }
     scenario.faults.sort(key=lambda f: f["at"])
     scenario.releases.sort(key=lambda r: r["at"])
     return scenario

@@ -100,6 +100,26 @@ def _shrink_sizes(scenario: Scenario, probe: _Probe) -> Scenario:
     return scenario
 
 
+def _drop_cohorts(scenario: Scenario, probe: _Probe) -> Scenario:
+    """Collapse the cohort layer first: a repro that still fails with
+    one SimProcess per client is strictly simpler to debug than a fluid
+    one, and dropping the layer also shrinks the client count whenever
+    the policy carried a ``scale`` multiplier."""
+    if scenario.cohorts is None or probe.exhausted:
+        return scenario
+    candidate = replace(scenario, cohorts=None)
+    if probe.still_fails(candidate):
+        return candidate
+    scale = scenario.cohorts.get("scale", 1)
+    if scale > 1 and not probe.exhausted:
+        # The layer itself is load-bearing; at least try 1× clients.
+        candidate = replace(scenario,
+                            cohorts={**scenario.cohorts, "scale": 1})
+        if probe.still_fails(candidate):
+            return candidate
+    return scenario
+
+
 def _drop_load_shape(scenario: Scenario, probe: _Probe) -> Scenario:
     """Try constant-rate clients: a repro without the shape is simpler."""
     if scenario.load_shape is None or probe.exhausted:
@@ -148,6 +168,7 @@ def shrink(scenario: Scenario,
     probe = _Probe(target_checkers, run_budget)
     while not probe.exhausted:
         before = scenario.to_json()
+        scenario = _drop_cohorts(scenario, probe)
         scenario = _drop_entries(scenario, "faults", probe)
         scenario = _drop_entries(scenario, "releases", probe)
         scenario = _drop_load_shape(scenario, probe)

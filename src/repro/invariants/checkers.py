@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..cohorts.aggregate import expand, fold, modeled
 from .base import InvariantChecker
 
 __all__ = ["CHECKERS", "default_checkers", "make_checkers",
@@ -21,7 +22,8 @@ __all__ = ["CHECKERS", "default_checkers", "make_checkers",
            "DrainMonotonicityChecker", "BudgetSanityChecker",
            "LbRoutingGuaranteeChecker", "AutoscalerDisciplineChecker",
            "EvacuationCompletenessChecker",
-           "CrossRegionContinuityChecker"]
+           "CrossRegionContinuityChecker",
+           "CohortConservationChecker"]
 
 
 class FdConservationChecker(InvariantChecker):
@@ -642,6 +644,121 @@ class CrossRegionContinuityChecker(InvariantChecker):
                         holder=holders[0])
 
 
+class CohortConservationChecker(InvariantChecker):
+    """The cohort layer's accounting algebra stays exact (repro.cohorts).
+
+    Four claims, all on the live :class:`repro.cohorts.CohortSet` (a
+    deployment without one trivially passes):
+
+    1. *Expand/fold identity* — splitting any cohort's aggregate into
+       parts and folding them back reproduces it exactly (the integer
+       algebra never loses a count);
+    2. *Registry sum-match* — the per-protocol raw totals folded out of
+       the drivers equal the metrics registry's prefix aggregation over
+       the population scope, so cohort lanes are neither double-counted
+       nor dropped by scope-prefix readers;
+    3. *Weighted web conservation* — per web cohort, the modeled
+       (weight-extrapolated) started count balances against modeled
+       terminals plus modeled in-flight, the fluid-rung analogue of
+       :class:`RequestConservationChecker`;
+    4. *MQTT session bounds* — per MQTT cohort, session endings never
+       exceed session establishments (each session ends at most once,
+       as solicited or broken; keepalive expiries are a subset of
+       breaks).
+    """
+
+    name = "cohort-conservation"
+
+    _WEB_TERMINALS = ("ok", "error", "shed", "timeout", "conn_reset",
+                      "conn_closed")
+
+    def sample(self) -> None:
+        self._check()
+
+    def finalize(self) -> None:
+        self._check()
+
+    def _check(self) -> None:
+        cohort_set = getattr(self.deployment, "cohort_set", None)
+        if cohort_set is None:
+            return
+        totals: dict[str, dict[str, int]] = {}
+        for driver in cohort_set.drivers:
+            agg = driver.aggregate()
+            self._check_roundtrip(agg)
+            merged = totals.setdefault(driver.kind, {})
+            for counts in (agg.rep_counts, agg.solo_counts):
+                for counter, value in counts.items():
+                    merged[counter] = merged.get(counter, 0) + value
+            if driver.kind == "web":
+                self._check_web(driver, agg)
+            elif driver.kind == "mqtt":
+                self._check_mqtt(driver, agg)
+        metrics = self.deployment.metrics
+        for kind, merged in totals.items():
+            prefix = f"{kind}-clients"
+            for counter, value in merged.items():
+                registry = metrics.aggregate(counter, scope_prefix=prefix)
+                if abs(registry - value) > 1e-9:
+                    self.violation(
+                        f"cohort sum-match broken: {kind} cohorts fold "
+                        f"{counter} to {value} but the registry "
+                        f"aggregates {registry:g} under '{prefix}'",
+                        kind=kind, counter=counter, folded=value,
+                        registry=registry)
+
+    def _check_roundtrip(self, agg) -> None:
+        for parts in (1, 3):
+            if fold(expand(agg, parts)) != agg:
+                self.violation(
+                    f"{agg.cohort}: fold(expand(agg, {parts})) is not "
+                    f"the identity",
+                    cohort=agg.cohort, parts=parts)
+                return
+
+    def _check_web(self, driver, agg) -> None:
+        weighted = modeled(agg)
+        inflight = driver.modeled_inflight()
+        for kind, started_name, extra in (
+                ("get", "get_started", "request_conn_reset"),
+                ("post", "posts_started", None)):
+            started = weighted.get(started_name, 0.0)
+            finished = sum(weighted.get(f"{kind}_{terminal}", 0.0)
+                           for terminal in self._WEB_TERMINALS)
+            if extra is not None:
+                finished += weighted.get(extra, 0.0)
+            pending = inflight.get(kind, 0.0)
+            if abs(started - finished - pending) > 1e-6 * max(1.0, started):
+                self.violation(
+                    f"{agg.cohort}: modeled web {kind} requests do not "
+                    f"balance: started {started:g} != finished "
+                    f"{finished:g} + in-flight {pending:g} "
+                    f"(weight {agg.weight:g})",
+                    cohort=agg.cohort, kind=kind, started=started,
+                    finished=finished, inflight=pending,
+                    weight=agg.weight)
+
+    def _check_mqtt(self, driver, agg) -> None:
+        counts: dict[str, int] = dict(agg.rep_counts)
+        for counter, value in agg.solo_counts.items():
+            counts[counter] = counts.get(counter, 0) + value
+        established = counts.get("sessions_established", 0)
+        ended = (counts.get("session_broken", 0)
+                 + counts.get("proactive_reconnects", 0))
+        expired = counts.get("keepalive_expired", 0)
+        if ended > established:
+            self.violation(
+                f"{agg.cohort}: {ended} MQTT session endings exceed "
+                f"{established} establishments",
+                cohort=agg.cohort, ended=ended, established=established)
+        if expired > counts.get("session_broken", 0):
+            self.violation(
+                f"{agg.cohort}: {expired} keepalive expiries exceed "
+                f"{counts.get('session_broken', 0)} session breaks",
+                cohort=agg.cohort, expired=expired,
+                broken=counts.get("session_broken", 0))
+
+
 #: name → class, in reporting order.
 CHECKERS = {
     checker.name: checker
@@ -658,6 +775,7 @@ CHECKERS = {
         AutoscalerDisciplineChecker,
         EvacuationCompletenessChecker,
         CrossRegionContinuityChecker,
+        CohortConservationChecker,
     )
 }
 

@@ -8,7 +8,19 @@ from .counters import CounterSet
 from .quantiles import Quantiles
 from .timeline import TimeSeries, UtilizationTracker
 
-__all__ = ["MetricsRegistry"]
+__all__ = ["MetricsRegistry", "PrefixCounterView"]
+
+
+class PrefixCounterView:
+    """Read-only aggregation over every scope under one prefix."""
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str):
+        self._registry = registry
+        self.prefix = prefix
+
+    def get(self, name: str, tag=None) -> float:
+        return self._registry.aggregate(name, scope_prefix=self.prefix,
+                                        tag=tag)
 
 
 class MetricsRegistry:
@@ -52,6 +64,16 @@ class MetricsRegistry:
             for scope, counters in self._scoped.items()
             if scope.startswith(scope_prefix)
         )
+
+    def prefix_counters(self, prefix: str) -> "PrefixCounterView":
+        """A read-only counter view summing across a scope prefix.
+
+        Drop-in for read-side uses of :meth:`scoped_counters`: readers
+        written against one population scope (``web-clients``) keep
+        working when the cohort layer fans the same population out into
+        ``web-clients/c0``, ``web-clients/c0/solo``, ... sub-scopes.
+        """
+        return PrefixCounterView(self, prefix)
 
     # -- series ---------------------------------------------------------------
 

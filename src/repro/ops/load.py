@@ -44,6 +44,12 @@ class LoadShapeConfig:
     base_scale: float = 1.0
     #: Table bucket width: the controller re-samples at this cadence.
     resolution: float = 1.0
+    #: Which client populations the shape drives, by protocol kind
+    #: (``web`` | ``mqtt`` | ``quic``); ``None`` drives every
+    #: population, the historical behaviour.  A diurnal shape on web
+    #: traffic must not scale MQTT herds — rate scales are
+    #: per-population, and this is the selector.
+    applies_to: Optional[str] = None
 
     # -- diurnal -----------------------------------------------------------
     day_length: float = 120.0
@@ -70,6 +76,10 @@ class LoadShapeConfig:
         if self.kind not in LOAD_SHAPE_KINDS:
             raise ValueError(f"unknown load shape {self.kind!r}; "
                              f"available: {LOAD_SHAPE_KINDS}")
+        if self.applies_to not in (None, "web", "mqtt", "quic"):
+            raise ValueError(
+                f"applies_to must be None, 'web', 'mqtt' or 'quic', "
+                f"not {self.applies_to!r}")
         if self.resolution <= 0:
             raise ValueError("resolution must be positive")
         if self.base_scale <= 0:
@@ -219,7 +229,17 @@ class LoadController:
                  metrics=None, name: str = "ops-load"):
         self.env = env
         self.shape = shape
-        self.populations = [p for p in populations if p is not None]
+        applies_to = shape.config.applies_to
+        #: Rate scales are per-population: only populations whose
+        #: protocol ``kind`` matches the shape's ``applies_to`` selector
+        #: are driven; the rest keep their own scale untouched (a web
+        #: diurnal must not scale MQTT herds).  Cohort drivers
+        #: (repro.cohorts) carry ``kind`` too and fan the scale into
+        #: their lanes, so per-cohort scales come for free.
+        self.populations = [
+            p for p in populations
+            if p is not None and (applies_to is None
+                                  or getattr(p, "kind", None) == applies_to)]
         self.name = name
         self.counters = (metrics.scoped_counters(name)
                          if metrics is not None else None)

@@ -194,6 +194,46 @@ def trace_spans(env_factory: Callable, scale: float) -> dict:
     return {"ops": n, "events": 0}
 
 
+def cohort_arrivals(env_factory: Callable, scale: float) -> dict:
+    """Aggregate-rung cohort hot path (repro.cohorts).
+
+    The regime the 100× macro bench's affordability rests on: K
+    representative processes per cohort pace arrivals and bump shared
+    per-cohort counters (instead of M = 50·K individual processes),
+    then the harvested counts round-trip through the exact
+    expand/fold algebra and extrapolate to modeled totals.
+    """
+    from ..cohorts import CohortAggregate, expand, fold, modeled
+    from ..metrics.counters import CounterSet
+
+    env = env_factory()
+    cohorts, reps, weight = 20, 8, 50.0
+    iters = int(150 * scale)
+    counter_sets = [CounterSet() for _ in range(cohorts)]
+
+    def rep_loop(counters: CounterSet, k: int, count: int):
+        for i in range(count):
+            counters.inc("get_started")
+            counters.inc("get_ok")
+            yield env.timeout(((k * 13 + i * 7) % 89) / 1000.0)
+
+    for c, counters in enumerate(counter_sets):
+        for k in range(reps):
+            env.process(rep_loop(counters, c * reps + k, iters))
+    env.run()
+    total = 0.0
+    for c, counters in enumerate(counter_sets):
+        agg = CohortAggregate(
+            cohort=f"c{c}", size=int(reps * weight), weight=weight,
+            rep_counts={name: int(value) for name, value
+                        in counters.snapshot().items()})
+        folded = fold(expand(agg, 4))
+        assert folded == agg, "expand/fold round-trip broke"
+        total += modeled(folded)["get_ok"]
+    assert total == cohorts * reps * iters * weight
+    return {"ops": cohorts * reps * iters, "events": env._eid}
+
+
 def _lb_pick(scheme: str) -> Callable[[Callable, float], dict]:
     """Pick-throughput bench for one flow-router scheme (repro.lb).
 
@@ -240,7 +280,8 @@ def _lb_pick(scheme: str) -> Callable[[Callable, float], dict]:
 def _macro_deployment(env_factory: Callable, *, edge_proxies: int,
                       web_clients: int, mqtt_users: int,
                       think_time: float, mqtt_publish: float,
-                      drain: float, seed: int = 0):
+                      drain: float, seed: int = 0, cohorts=None,
+                      start: bool = True):
     """A fig-experiment-shaped deployment on an explicit kernel.
 
     Built directly (not via ``experiments.common.build_deployment``) so
@@ -268,9 +309,11 @@ def _macro_deployment(env_factory: Callable, *, edge_proxies: int,
                                        think_time=think_time),
         mqtt_workload=MqttWorkloadConfig(users_per_host=mqtt_users,
                                          publish_interval=mqtt_publish),
-        quic_workload=None)
+        quic_workload=None,
+        cohorts=cohorts)
     deployment = Deployment(spec, env=env_factory())
-    deployment.start()
+    if start:
+        deployment.start()
     return deployment
 
 
@@ -320,6 +363,47 @@ def fig08_capacity(env_factory: Callable, scale: float) -> dict:
                              RollingReleaseConfig(batch_fraction=0.2))
     deployment.env.process(release.execute())
     deployment.run(until=warmup + measure)
+    events = deployment.env._eid
+    return {"ops": events, "events": events}
+
+
+def fig13_cohort_100x(env_factory: Callable, scale: float) -> dict:
+    """Figure 13's ZDR timeline at 100× clients on the cohort fluid.
+
+    The figure experiment runs 40 web clients and 40 MQTT users; at
+    ``scale=1.0`` a ``CohortPolicy(scale=100)`` models 4000 of each as
+    weighted representative flows (aggregate rung) against the same
+    10-proxy edge cluster.  A 20% edge batch restarts with ZDR mid-run
+    — the release boundary condenses weight-1 solo flows out of the
+    fluid — and the whole run executes under the full invariant suite,
+    which must come back green: the 100× fluid is only worth its
+    speedup if every checker still holds on it.
+    """
+    from ..cohorts import CohortPolicy
+    from ..invariants import InvariantSuite
+    from ..release.orchestrator import RollingRelease, RollingReleaseConfig
+
+    policy = CohortPolicy(fidelity="aggregate",
+                          scale=max(1, int(100 * scale)))
+    deployment = _macro_deployment(
+        env_factory, edge_proxies=10, web_clients=40, mqtt_users=40,
+        think_time=0.8, mqtt_publish=4.0, drain=15.0, cohorts=policy,
+        start=False)
+    suite = InvariantSuite(deployment)
+    suite.attach()
+    deployment.start()
+    warmup, measure = 25.0, 40.0
+    deployment.run(until=warmup)
+    batch = max(1, int(len(deployment.edge_servers) * 0.2))
+    release = RollingRelease(deployment.env,
+                             deployment.edge_servers[:batch],
+                             RollingReleaseConfig(batch_fraction=1.0))
+    deployment.env.process(release.execute())
+    deployment.run(until=warmup + measure)
+    violations = suite.finalize()
+    assert not violations, (
+        f"invariants broke at 100× cohort scale: "
+        f"{[v.checker for v in violations[:5]]}")
     events = deployment.env._eid
     return {"ops": events, "events": events}
 
@@ -390,9 +474,12 @@ MICRO_SCENARIOS: list[Scenario] = [
              kernel_sensitive=False, repeat=3),
     Scenario("canary_judgment", "micro", canary_judgment,
              kernel_sensitive=False, repeat=3),
+    Scenario("cohort_arrivals", "micro", cohort_arrivals, repeat=2),
 ]
 
 MACRO_SCENARIOS: list[Scenario] = [
     Scenario("fig13_timeline", "macro", fig13_timeline, quick_scale=0.1),
     Scenario("fig08_capacity", "macro", fig08_capacity, quick_scale=0.1),
+    Scenario("fig13_cohort_100x", "macro", fig13_cohort_100x,
+             quick_scale=0.1),
 ]

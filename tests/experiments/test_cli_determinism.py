@@ -1,0 +1,49 @@
+"""The CLI determinism contract, promoted from CI into the suite.
+
+CI has long double-run/byte-diffed ``opsloop`` and ``regionevac``
+through the real ``python -m repro.experiments`` entry point (shell
+``diff`` of the captured stdout).  That check only runs on CI machines;
+these tests run the identical comparison in-process via ``main()`` and
+``capsys``, so `pytest` alone catches a determinism regression — a
+stray wall-clock read, an unseeded RNG, an ID allocator bleeding into
+printed output — before it lands.
+
+Only the ``(X.Xs wall)`` timing line is stripped (the one intentional
+wall-clock read); everything else must match byte for byte, including
+the sparkline-free rows, claim verdicts, and invariant summaries.
+"""
+
+import re
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.perf.differential import reset_id_allocators
+
+#: The deliberately-nondeterministic output: the wall-time footer.
+_WALL = re.compile(r"^\s*\(\d+\.\d+s wall\)\s*$", re.MULTILINE)
+
+
+def _run_cli(argv, capsys):
+    reset_id_allocators()
+    code = main(argv)
+    out = capsys.readouterr().out
+    return code, _WALL.sub("", out)
+
+
+@pytest.mark.parametrize("figure", ["opsloop", "regionevac"])
+def test_cli_double_run_is_byte_identical(figure, capsys):
+    argv = [figure, "--no-plots"]
+    code_a, out_a = _run_cli(argv, capsys)
+    code_b, out_b = _run_cli(argv, capsys)
+    assert code_a == code_b == 0
+    assert out_a == out_b, f"{figure}: CLI output differs between runs"
+    assert "invariants: all checkers clean" in out_a
+    assert "FAIL" not in out_a
+
+
+def test_cli_output_is_not_vacuous(capsys):
+    """The byte-diff means something: runs print real result rows."""
+    _, out = _run_cli(["opsloop", "--no-plots"], capsys)
+    assert "== " in out and " = " in out, "no result rows printed"
+    assert _WALL.search(out) is None, "wall-time line survived stripping"

@@ -22,7 +22,7 @@ EXPECTED_CHECKERS = {
     "ppr-exactly-once", "mqtt-continuity", "capacity-floor",
     "drain-monotonicity", "retry-budget-sanity", "lb-routing-guarantee",
     "autoscaler-discipline", "evacuation-completeness",
-    "cross-region-continuity",
+    "cross-region-continuity", "cohort-conservation",
 }
 
 

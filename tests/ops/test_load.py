@@ -142,7 +142,11 @@ def test_next_change_float_bucket_edge_regression():
 
 
 class FakePopulation:
-    def __init__(self):
+    kind = "web"
+
+    def __init__(self, kind=None):
+        if kind is not None:
+            self.kind = kind
         self.rate_scale = 1.0
         self.applied = []
 
@@ -216,6 +220,57 @@ def test_controller_skips_none_populations():
     controller = LoadController(env, LoadShape(_diurnal()),
                                 [None, FakePopulation(), None])
     assert len(controller.populations) == 1
+
+
+# -- applies_to: rate scales are per-population -------------------------------
+
+
+def test_applies_to_validation():
+    LoadShapeConfig(applies_to="mqtt").validate()
+    with pytest.raises(ValueError):
+        LoadShapeConfig(applies_to="smtp").validate()
+
+
+def test_controller_scales_only_the_selected_kind():
+    """Regression: a diurnal shape on web traffic must not scale MQTT
+    herds — the controller drives only populations whose ``kind``
+    matches the shape's ``applies_to`` selector."""
+    env = Environment()
+    web = FakePopulation("web")
+    mqtt = FakePopulation("mqtt")
+    quic = FakePopulation("quic")
+    shape = LoadShape(_diurnal(applies_to="web"))
+    controller = LoadController(env, shape, [web, mqtt, quic])
+    controller.start()
+    env.run(until=20.0)
+    assert web.applied, "selected population never received an update"
+    assert mqtt.applied == [] and mqtt.rate_scale == 1.0
+    assert quic.applied == [] and quic.rate_scale == 1.0
+
+
+def test_controller_none_applies_to_keeps_driving_everything():
+    env = Environment()
+    populations = [FakePopulation("web"), FakePopulation("mqtt")]
+    controller = LoadController(env, LoadShape(_diurnal()), populations)
+    controller.start()
+    env.run(until=20.0)
+    assert all(p.applied for p in populations)
+    assert populations[0].applied == populations[1].applied
+
+
+def test_deployment_applies_to_scopes_shape_to_one_population():
+    config = LoadShapeConfig(kind="flash_crowd", flash_at=2.0,
+                             flash_ramp=1.0, flash_hold=4.0,
+                             flash_scale=3.0, resolution=1.0,
+                             applies_to="web")
+    deployment = Deployment(_spec(
+        mqtt_client_hosts=1,
+        mqtt_workload=DeploymentSpec().mqtt_workload,
+        load_shape=config))
+    deployment.start()
+    deployment.run(until=5.0)  # mid-hold: web runs hot, MQTT untouched
+    assert deployment.web_clients.rate_scale == pytest.approx(3.0)
+    assert deployment.mqtt_clients.rate_scale == pytest.approx(1.0)
 
 
 # -- deployment wiring --------------------------------------------------------

@@ -20,8 +20,6 @@ compare:
 """
 
 import dataclasses
-import importlib
-import itertools
 
 import pytest
 
@@ -29,6 +27,7 @@ from repro.fuzz.runner import run_scenario
 from repro.fuzz.scenario import generate_scenario
 from repro.invariants import checkers as checkers_mod
 from repro.invariants.base import InvariantChecker
+from repro.perf.differential import full_snapshot, reset_id_allocators
 from repro.simkernel.reference import Environment as ReferenceEnvironment
 
 #: ≥25 seeded scenarios, as the differential-coverage floor requires.
@@ -72,58 +71,10 @@ def _register_trace_checker():
     del checkers_mod.CHECKERS["_trace"]
 
 
-#: Module-global ID allocators (request ids, connection ids, packet
-#: ids...).  They are cosmetic — the matching snapshots prove they never
-#: influence behaviour — but they leak monotonically across runs within
-#: one process, so two otherwise identical runs would label the same
-#: request 5 and 71.  Resetting them before each run makes the trace
-#: comparison exact instead of requiring ID-normalization.
-_ID_ALLOCATORS = [
-    ("repro.protocols.http", "_request_ids", 1),
-    ("repro.protocols.tls", "_ids", 1),
-    ("repro.protocols.quic", "_cid_counter", 0x1000),
-    ("repro.protocols.quic", "_packet_numbers", 1),
-    ("repro.protocols.http2", "_frame_ids", 1),
-    ("repro.protocols.mqtt", "_packet_ids", 1),
-    ("repro.netsim.process", "_pids", 100),
-    ("repro.netsim.sockets", "_conn_ids", 1),
-    ("repro.netsim.packet", "_ids", 1),
-]
-
-
-def _reset_id_allocators():
-    for module_name, attr, start in _ID_ALLOCATORS:
-        module = importlib.import_module(module_name)
-        assert hasattr(module, attr), f"{module_name}.{attr} moved"
-        setattr(module, attr, itertools.count(start))
-
-
-def full_snapshot(deployment) -> dict:
-    """Every metric the run produced — counters in every scope, raw
-    time-series buckets, quantile samples (in insertion order, so the
-    *sequence* of observations matters, not just the distribution),
-    utilization buckets — plus the kernel's clock and event count."""
-    metrics = deployment.metrics
-    return {
-        "global": metrics.global_counters.snapshot(),
-        "scoped": {scope: metrics.scoped_counters(scope).snapshot()
-                   for scope in metrics.scopes()},
-        "series": {name: (series._sums, series._counts)
-                   for name, series in sorted(metrics._series.items())},
-        "quantiles": {name: list(q._values)
-                      for name, q in sorted(metrics._quantiles.items())},
-        "utilization": {scope: tracker.busy._buckets
-                        for scope, tracker
-                        in sorted(metrics._utilization.items())},
-        "now": deployment.env.now,
-        "eid": deployment.env._eid,
-    }
-
-
 def run_fuzz(seed: int, env=None):
     scenario = dataclasses.replace(generate_scenario(seed),
                                    duration=DURATION)
-    _reset_id_allocators()
+    reset_id_allocators()
     TraceChecker.trace = []
     TraceChecker.snapshot = {}
     result = run_scenario(scenario, checkers=["_trace"], env=env)
@@ -170,7 +121,7 @@ def _figure_deployment(env=None):
     from repro.release.orchestrator import (RollingRelease,
                                             RollingReleaseConfig)
 
-    _reset_id_allocators()
+    reset_id_allocators()
     deployment = build_deployment(
         seed=5,
         edge_proxies=4,
