@@ -376,7 +376,10 @@ class AppServer:
             if not isinstance(chunk, BodyChunk):
                 continue
             post.received_bytes += chunk.data_size
-            post.received_chunks += 1
+            # A spliced bulk chunk stands for chunk.chunks wire frames
+            # (repro.splice); counting them keeps the 379 partial_chunks
+            # echo exact whether or not the train was coalesced.
+            post.received_chunks += chunk.chunks
             yield from self.host.cpu.execute(
                 costs.post_byte * chunk.data_size)
             if chunk.is_last:

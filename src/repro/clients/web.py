@@ -54,6 +54,11 @@ class WebWorkloadConfig:
     request_timeout: float = 20.0
     reconnect_backoff: float = 1.0
     use_tls: bool = True
+    #: Stop each client after this many requests (None = run forever).
+    #: Finite-work runs are what the splice differential suite compares:
+    #: with every request completed well before the horizon, counters
+    #: are independent of the (intentionally coarser) spliced timing.
+    max_requests: int | None = None
 
 
 class WebClientPopulation:
@@ -116,7 +121,14 @@ class WebClientPopulation:
         env = base.host.env
         config = self.config
         conn = None
+        requests_done = 0
         while process.alive:
+            if (config.max_requests is not None
+                    and requests_done >= config.max_requests):
+                # Finite-work mode: this client is done for good.
+                if conn is not None and conn.alive:
+                    conn.close()
+                return
             if conn is None or not conn.alive:
                 conn = yield from self._establish(base, process)
                 if conn is None:
@@ -128,6 +140,7 @@ class WebClientPopulation:
             if not conn.alive:
                 continue
             kind = "post" if sampler.bernoulli(config.post_fraction) else "get"
+            requests_done += 1
             self.inflight[kind] += 1
             try:
                 if kind == "post":
@@ -200,29 +213,25 @@ class WebClientPopulation:
         env = base.host.env
         start = env.now
         self.counters.inc("posts_started")
+        governor = self.metrics.splice
         try:
             conn.send(request, size=400)
-            sent, seq = 0, 0
-            while sent < size:
-                chunk_size = min(config.post_chunk_size, size - sent)
-                sent += chunk_size
-                seq += 1
-                yield env.timeout(chunk_size / config.upload_bandwidth)
-                # An error response may arrive mid-upload (500 from a
-                # restarting app server without PPR).
-                early = conn.inbox.try_get()
-                if early is not None:
-                    verdict = self._digest_response(base, early, start,
-                                                    kind="post", span=span)
-                    if isinstance(verdict, float) and conn.alive:
-                        # Shed mid-upload: this connection has a
-                        # dangling POST stream — retire it before the
-                        # Retry-After backoff.
-                        conn.close()
-                    return verdict
-                conn.send(BodyChunk(request.id, chunk_size, seq,
-                                    is_last=(sent >= size)),
-                          size=chunk_size)
+            if (governor is not None and governor.engaged
+                    and size >= governor.config.min_bulk_bytes):
+                early = yield from self._post_body_spliced(
+                    conn, request, size, governor)
+            else:
+                early = yield from self._post_body_chunks(
+                    conn, request, size, 0, 0)
+            if early is not None:
+                verdict = self._digest_response(base, early, start,
+                                                kind="post", span=span)
+                if isinstance(verdict, float) and conn.alive:
+                    # Shed mid-upload: this connection has a
+                    # dangling POST stream — retire it before the
+                    # Retry-After backoff.
+                    conn.close()
+                return verdict
         except (SocketClosedSim, ConnectionResetSim):
             self.counters.inc("post_conn_reset")
             self.metrics.series("client/post_disrupted").record(env.now)
@@ -233,6 +242,79 @@ class WebClientPopulation:
             env, conn.recv(), config.request_timeout)
         return self._digest_response(base, outcome, start, kind="post",
                                      span=span)
+
+    def _post_body_chunks(self, conn, request: HttpRequest, size: int,
+                          sent: int, seq: int):
+        """Stream the body per-chunk from offset ``sent`` onwards.
+
+        Returns an early-arrived inbox item (error/shed response mid
+        upload), or None when the whole body went out.
+        """
+        config = self.config
+        env = conn.kernel.env
+        while sent < size:
+            chunk_size = min(config.post_chunk_size, size - sent)
+            sent += chunk_size
+            seq += 1
+            yield env.timeout(chunk_size / config.upload_bandwidth)
+            # An error response may arrive mid-upload (500 from a
+            # restarting app server without PPR).
+            early = conn.inbox.try_get()
+            if early is not None:
+                return early
+            conn.send(BodyChunk(request.id, chunk_size, seq,
+                                is_last=(sent >= size)),
+                      size=chunk_size)
+        return None
+
+    def _post_body_spliced(self, conn, request: HttpRequest, size: int,
+                           governor):
+        """Upload the body as one spliced bulk transfer (repro.splice).
+
+        The whole chunk train collapses into a single pacing wait plus a
+        single :class:`BodyChunk` whose ``chunks`` field carries the
+        elided frame count, so relays fold per-chunk costs exactly.  A
+        mechanism boundary (release walk, fault window) fires the
+        governor's wake mid-wait: the bytes whose pacing already elapsed
+        are flushed as one catch-up chunk and the remainder streams at
+        per-chunk fidelity.
+        """
+        config = self.config
+        env = conn.kernel.env
+        chunk_size = config.post_chunk_size
+        sent, seq = 0, 0
+        while sent < size:
+            if not governor.engaged:
+                return (yield from self._post_body_chunks(
+                    conn, request, size, sent, seq))
+            remaining = size - sent
+            begun = env.now
+            completed = yield from governor.bulk_wait(
+                remaining / config.upload_bandwidth)
+            if completed:
+                chunks = -(-remaining // chunk_size)
+                conn.send(BodyChunk(request.id, remaining, seq + 1,
+                                    is_last=True, chunks=chunks),
+                          size=remaining)
+                governor.note_bulk(remaining, chunks)
+                return None
+            # De-spliced mid-transfer: flush the full chunks whose
+            # pacing completed before the boundary, then loop (the
+            # engaged check above routes the rest per-chunk).  At least
+            # the final chunk always remains, so is_last stays with the
+            # per-chunk tail.
+            elapsed = env.now - begun
+            paced = min(int(elapsed * config.upload_bandwidth) // chunk_size,
+                        (remaining - 1) // chunk_size)
+            if paced > 0:
+                flush = paced * chunk_size
+                sent += flush
+                seq += paced
+                conn.send(BodyChunk(request.id, flush, seq,
+                                    is_last=False, chunks=paced),
+                          size=flush)
+                governor.note_bulk(flush, paced)
+        return None  # pragma: no cover - loop exits via returns above
 
     def _start_request_trace(self, conn, request: HttpRequest, kind: str):
         """Root span for one request (None when tracing is disabled —

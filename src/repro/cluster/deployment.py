@@ -46,6 +46,7 @@ from ..resilience.health import OutlierTracker
 from ..simkernel.core import Environment
 from ..simkernel.events import AllOf
 from ..simkernel.rng import RandomStreams
+from ..splice import SpliceGovernor, ambient_splice
 from .spec import DeploymentSpec
 
 __all__ = ["Deployment"]
@@ -67,6 +68,17 @@ class Deployment:
         self.invariant_suite = None
         self.streams = RandomStreams(spec.seed)
         self.metrics = MetricsRegistry(bucket_width=spec.bucket_width)
+        #: Splice fast path (repro.splice): explicit spec config, else
+        #: the ambient one (the CLI's ``--splice``); None leaves every
+        #: layer on per-chunk fidelity.
+        self.splice: Optional[SpliceGovernor] = None
+        splice_config = spec.splice or ambient_splice()
+        if splice_config is not None and splice_config.enabled:
+            self.splice = SpliceGovernor(self.env, splice_config)
+            self.splice.attach(self)
+            # Bound-handle rule: relays and clients reach the governor
+            # through the registry they already hold.
+            self.metrics.splice = self.splice
         self.network = Network(self.env, self.streams,
                                default_profile=INTRA_DC,
                                metrics=self.metrics)

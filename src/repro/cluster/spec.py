@@ -14,6 +14,7 @@ from ..cohorts.spec import CohortPolicy
 from ..lb.katran import KatranConfig
 from ..ops.load import LoadShapeConfig
 from ..proxygen.config import ProxygenConfig
+from ..splice import SpliceConfig
 
 __all__ = ["DeploymentSpec"]
 
@@ -72,6 +73,11 @@ class DeploymentSpec:
     #: ``--cohorts``).  With a policy, each client host's workload
     #: becomes one cohort scoped under ``<population>/c<i>``.
     cohorts: Optional[CohortPolicy] = None
+    #: Splice fast path (repro.splice); None keeps per-chunk fidelity
+    #: everywhere (or applies the ambient config set by the CLI's
+    #: ``--splice``).  With a config, established bulk transfers and
+    #: tunnel relays collapse to bulk events outside mechanism windows.
+    splice: Optional[SpliceConfig] = None
 
     # Workloads (None → population not started)
     web_workload: Optional[WebWorkloadConfig] = field(

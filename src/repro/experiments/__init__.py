@@ -23,6 +23,7 @@ from . import fig17_takeover_overhead
 from . import lb_ablation
 from . import ops_closed_loop
 from . import region_evac
+from . import shardscale
 from .common import ExperimentResult
 
 ALL_EXPERIMENTS = {
@@ -43,6 +44,7 @@ ALL_EXPERIMENTS = {
     "lbablation": lb_ablation,
     "opsloop": ops_closed_loop,
     "regionevac": region_evac,
+    "shardscale": shardscale,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

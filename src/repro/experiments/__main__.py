@@ -34,6 +34,8 @@ from ..release.orchestrator import clear_ambient_release_gate, \
     set_ambient_release_gate
 from ..resilience import ResilienceConfig, clear_ambient_resilience, \
     set_ambient_resilience
+from ..shard import clear_ambient_shards, set_ambient_shards
+from ..splice import SpliceConfig, clear_ambient_splice, set_ambient_splice
 from ..trace import runtime as trace_runtime
 from ..trace.render import render_trace_report
 from . import ALL_EXPERIMENTS
@@ -82,6 +84,15 @@ def main(argv=None) -> int:
                              "(default: auto — condensed below 256 "
                              "modeled clients per cohort, aggregate "
                              "above)")
+    parser.add_argument("--splice", action="store_true",
+                        help="enable the splice fast path (repro.splice): "
+                             "bulk uploads collapse into single transfer "
+                             "events outside release/fault windows")
+    parser.add_argument("--shards", type=int, metavar="N", default=None,
+                        help="worker processes for the shard-aware "
+                             "harnesses (shardscale): partition "
+                             "independent regions across N forked "
+                             "workers and merge deterministically")
     parser.add_argument("--canary", action="store_true",
                         help="gate every rolling release behind canary "
                              "analysis (repro.ops.canary) with default "
@@ -127,6 +138,16 @@ def main(argv=None) -> int:
         try:
             set_ambient_cohorts(CohortPolicy(
                 fidelity=args.cohort_fidelity, scale=args.cohorts))
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    if args.splice:
+        set_ambient_splice(SpliceConfig())
+
+    if args.shards is not None:
+        try:
+            set_ambient_shards(args.shards)
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
@@ -189,6 +210,8 @@ def main(argv=None) -> int:
         clear_ambient_load_shape()
         clear_ambient_cohorts()
         clear_ambient_release_gate()
+        clear_ambient_splice()
+        clear_ambient_shards()
         trace_runtime.clear_ambient_trace()
         trace_runtime.drain()
         invariant_runtime.drain()  # reset registry for in-process callers

@@ -86,6 +86,7 @@ class FaultInjector:
         record.injected_at = self.env.now
         record.state = "active"
         self.counters.inc("injected", tag=spec.kind)
+        _notify_fault_observers("inject", record)
         if spec.duration is None:
             return  # persists to the end of the run
         yield self.env.timeout(spec.duration)
@@ -93,6 +94,7 @@ class FaultInjector:
         record.cleared_at = self.env.now
         record.state = "cleared"
         self.counters.inc("cleared", tag=spec.kind)
+        _notify_fault_observers("clear", record)
 
     def _inject(self, record: FaultRecord) -> Optional[Callable[[], None]]:
         """Apply one fault; returns the clear callable (None = no target)."""
@@ -366,6 +368,32 @@ class FaultInjector:
                 for r in self.records
             ],
         }
+
+
+# -- fault-window observers --------------------------------------------------
+#
+# Notified as ``cb(phase, record)`` with phase "inject"/"clear" — the
+# splice governor de-splices bulk transfers for the duration of any
+# fault window (repro.splice), the same way cohort condensation watches
+# release walks.  Module-level because injectors are created per run
+# with no central object to hang a hook on.
+
+_fault_observers: list = []
+
+
+def add_fault_observer(callback) -> None:
+    if callback not in _fault_observers:
+        _fault_observers.append(callback)
+
+
+def remove_fault_observer(callback) -> None:
+    if callback in _fault_observers:
+        _fault_observers.remove(callback)
+
+
+def _notify_fault_observers(phase: str, record) -> None:
+    for callback in list(_fault_observers):
+        callback(phase, record)
 
 
 # -- ambient plan -----------------------------------------------------------

@@ -39,6 +39,13 @@ class MetricsRegistry:
         #: site to a single attribute read + ``is not None`` test (the
         #: bound-handle rule).
         self.tracing = None
+        #: The run's :class:`repro.splice.SpliceGovernor`, installed by
+        #: the deployment when the splice fast path is enabled; ``None``
+        #: (the default) keeps every relay loop on per-chunk fidelity
+        #: with a single attribute read.  Same bound-handle rule as
+        #: ``tracing``: the registry is the one deployment-wide object
+        #: every layer already holds, so the governor rides on it.
+        self.splice = None
         self.global_counters = CounterSet()
         self._scoped: dict[str, CounterSet] = {}
         self._series: dict[str, TimeSeries] = {}

@@ -66,9 +66,15 @@ class Network:
 
     def __init__(self, env: Environment, streams: RandomStreams,
                  default_profile: LinkProfile = INTRA_DC,
-                 metrics=None):
+                 metrics=None, partition_rng: bool = False):
         self.env = env
         self.rng = streams.stream("network")
+        #: Per-source-site jitter/loss streams (repro.shard): draws stop
+        #: depending on how *other* sites' transmissions interleave, so
+        #: a region simulated alone rolls the same sequence it would in
+        #: a combined run.  None (default) keeps the shared stream.
+        self._site_rngs: Optional[dict] = {} if partition_rng else None
+        self._streams = streams
         self.default_profile = default_profile
         self.local_profile = LOOPBACK
         self._hosts: dict[str, "Host"] = {}
@@ -216,15 +222,23 @@ class Network:
         # Inlined ``profile.delay`` — the rng draw order (jitter before
         # the loss roll) must stay exactly as the frozen kernel era had
         # it, or seeded runs diverge.
+        site_rngs = self._site_rngs
+        if site_rngs is None:
+            rng = self.rng
+        else:
+            rng = site_rngs.get(src.site)
+            if rng is None:
+                rng = site_rngs[src.site] = self._streams.stream(
+                    f"net/{src.site}")
         delay = profile.latency
         if profile.jitter > 0:
-            delay += self.rng.uniform(0.0, profile.jitter)
+            delay += rng.uniform(0.0, profile.jitter)
         if profile.bandwidth:
             delay += size / profile.bandwidth
         arrival = now + delay
         if arrival < not_before:
             arrival = not_before
-        if profile.loss > 0 and self.rng.random() < profile.loss:
+        if profile.loss > 0 and rng.random() < profile.loss:
             self._drop(src, dst, "loss")
             return arrival
         timeout = env.timeout(arrival - now)

@@ -32,11 +32,26 @@ def with_timeout(env: Environment, event: Event, timeout: float):
     event fails, its exception propagates to the caller.
     """
     deadline = env.timeout(timeout, value=TIMED_OUT)
-    result = yield AnyOf(env, [event, deadline])
+    race = AnyOf(env, [event, deadline])
+    result = yield race
     if event in result:
-        # Cancel the pending get if the event supports it, so an unread
-        # queue item is not consumed later by a stale getter.
+        # The event won: withdraw the losing deadline so the race does
+        # not leave a dead timeout behind in the heap (a relay loop
+        # calls this millions of times — leaked deadlines would come to
+        # dominate the schedule).  Detach the race's own callback first:
+        # ``Timeout.cancel`` only tombstones a timeout nobody waits on.
+        callbacks = deadline.callbacks
+        if callbacks is not None:
+            try:
+                callbacks.remove(race._check)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        cancel = getattr(deadline, "cancel", None)
+        if cancel is not None:
+            cancel()
         return result[event]
+    # Cancel the pending get if the event supports it, so an unread
+    # queue item is not consumed later by a stale getter.
     cancel = getattr(event, "cancel", None)
     if cancel is not None:
         cancel()

@@ -37,7 +37,18 @@ def run_scenario(scenario: Scenario, mode: str) -> BenchResult:
                   repeat=scenario.repeat)
     ref = None
     notes: dict = {}
-    if scenario.kernel_sensitive:
+    if scenario.ref_fn is not None:
+        # Feature comparison: both arms on the live kernel.  Event
+        # counts differ by design (that is the feature being priced);
+        # completed work must not.
+        ref = measure(lambda: scenario.ref_fn(LiveEnvironment, scale),
+                      repeat=scenario.repeat)
+        if ref.ops != opt.ops:
+            raise SystemExit(
+                f"FEATURE DIVERGENCE in {scenario.name}: fast-path arm "
+                f"completed {opt.ops} ops, reference arm {ref.ops}")
+        notes["ops_match"] = True
+    elif scenario.kernel_sensitive:
         ref = measure(lambda: scenario.fn(ReferenceEnvironment, scale),
                       repeat=scenario.repeat)
         # Coarse differential check for free: a deterministic scenario

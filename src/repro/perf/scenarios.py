@@ -12,7 +12,7 @@ makes the opt/ref speedup (and the event-count cross-check) meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 __all__ = ["Scenario", "MICRO_SCENARIOS", "MACRO_SCENARIOS"]
 
@@ -30,6 +30,13 @@ class Scenario:
     full_scale: float = 1.0
     quick_scale: float = 0.2
     repeat: int = 1
+    #: Feature-comparison reference: when set, the "ref" arm runs this
+    #: builder on the *live* kernel instead of re-running ``fn`` on the
+    #: frozen reference kernel — the speedup then prices a feature
+    #: (e.g. the splice fast path) rather than the kernel.  Event
+    #: counts differ between such arms by design, so the harness checks
+    #: ``ops`` equality instead of event parity.
+    ref_fn: Optional[Callable[[Callable, float], dict]] = None
 
 
 # -- micro: kernel event churn ----------------------------------------------
@@ -408,6 +415,71 @@ def fig13_cohort_100x(env_factory: Callable, scale: float) -> dict:
     return {"ops": events, "events": events}
 
 
+def _splice_posts(splice: bool) -> Callable[[Callable, float], dict]:
+    """POST-heavy macro workload, with or without the splice fast path.
+
+    The regime the splice plane targets: most requests are multi-MB
+    streaming uploads, so per-chunk pacing/relay events dominate the
+    run.  Work is *finite* (``max_requests`` per client, horizon far
+    past completion) so both arms complete exactly the same requests —
+    ``ops`` is the completed-request count and must match between arms
+    (the same property ``tests/splice`` proves for every counter).
+    """
+
+    def bench(env_factory: Callable, scale: float) -> dict:
+        from ..clients.web import WebWorkloadConfig
+        from ..cluster.deployment import Deployment
+        from ..cluster.spec import DeploymentSpec
+        from ..splice import SpliceConfig
+
+        clients = max(2, int(120 * scale))
+        spec = DeploymentSpec(
+            seed=2,
+            edge_proxies=6,
+            origin_proxies=3,
+            app_servers=4,
+            web_client_hosts=1,
+            mqtt_client_hosts=0,
+            quic_client_hosts=0,
+            web_workload=WebWorkloadConfig(
+                clients_per_host=clients, think_time=1.0,
+                post_fraction=0.8, post_size_min=1_000_000,
+                post_size_cap=30_000_000, post_chunk_size=16_000,
+                max_requests=8),
+            mqtt_workload=None,
+            quic_workload=None,
+            splice=SpliceConfig() if splice else None)
+        deployment = Deployment(spec, env=env_factory())
+        deployment.start()
+        metrics = deployment.metrics
+
+        def completed() -> float:
+            return (metrics.aggregate("post_ok")
+                    + metrics.aggregate("get_ok")
+                    + metrics.aggregate("post_timeout")
+                    + metrics.aggregate("get_timeout")
+                    + metrics.aggregate("post_error")
+                    + metrics.aggregate("get_error"))
+
+        # Run until the finite workload drains (bounded by the hard
+        # horizon): an idle tail would just bench health-check noise,
+        # identically in both arms.
+        target = clients * 8
+        horizon, step, now = 600.0, 20.0, 0.0
+        while now < horizon and completed() < target:
+            now = min(now + step, horizon)
+            deployment.run(until=now)
+        done = completed()
+        if splice:
+            governor = deployment.splice
+            assert governor is not None and governor.bulk_transfers > 0, \
+                "splice arm never took the bulk fast path"
+        return {"ops": int(done), "events": deployment.env._eid}
+
+    bench.__name__ = f"splice_bulk_posts_{'on' if splice else 'off'}"
+    return bench
+
+
 def load_shape_sample(env_factory: Callable, scale: float) -> dict:
     """Ops control plane: ``LoadShape.scale_at`` lookups (repro.ops).
 
@@ -482,4 +554,6 @@ MACRO_SCENARIOS: list[Scenario] = [
     Scenario("fig08_capacity", "macro", fig08_capacity, quick_scale=0.1),
     Scenario("fig13_cohort_100x", "macro", fig13_cohort_100x,
              quick_scale=0.1),
+    Scenario("splice_bulk_posts", "macro", _splice_posts(True),
+             ref_fn=_splice_posts(False), quick_scale=0.1),
 ]

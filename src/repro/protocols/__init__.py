@@ -7,6 +7,7 @@ from .http import (
     ChunkedState,
     HttpRequest,
     HttpResponse,
+    MAX_LINE_LENGTH,
     PARTIAL_POST_STATUS_MESSAGE,
     STATUS_INTERNAL_ERROR,
     STATUS_OK,
@@ -46,7 +47,7 @@ from .tls import (
 
 __all__ = [
     "BodyChunk", "ChunkedDecoder", "ChunkedEncoder", "ChunkedState",
-    "HttpRequest", "HttpResponse",
+    "HttpRequest", "HttpResponse", "MAX_LINE_LENGTH",
     "PARTIAL_POST_STATUS_MESSAGE", "STATUS_INTERNAL_ERROR", "STATUS_OK",
     "STATUS_PARTIAL_POST_REPLAY", "STATUS_TEMPORARY_REDIRECT",
     "echo_pseudo_headers", "is_valid_ppr_response", "recover_pseudo_headers",

@@ -17,6 +17,7 @@ Two layers live here:
 from __future__ import annotations
 
 import itertools
+import re
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -38,6 +39,7 @@ __all__ = [
     "ChunkedEncoder",
     "ChunkedDecoder",
     "ChunkedState",
+    "MAX_LINE_LENGTH",
 ]
 
 STATUS_OK = 200
@@ -101,12 +103,19 @@ class HttpRequest:
 
 @dataclass
 class BodyChunk:
-    """One piece of a streamed request body."""
+    """One piece of a streamed request body.
+
+    A *spliced* transfer (repro.splice) coalesces a whole chunk train
+    into one BodyChunk whose ``chunks`` records how many wire chunks it
+    stands for — relays scale their per-chunk costs by it so counter
+    and utilization folds stay exact.  Ordinary chunks carry 1.
+    """
 
     request_id: int
     data_size: int
     sequence: int
     is_last: bool = False
+    chunks: int = 1
 
 
 @dataclass
@@ -174,6 +183,17 @@ def recover_pseudo_headers(headers: dict[str, str]) -> dict[str, str]:
 # ---------------------------------------------------------------------------
 
 CRLF = b"\r\n"
+
+#: RFC 9112 §7.1: a chunk size is *only* ``1*HEXDIG``.  ``int(x, 16)``
+#: is far laxer — it accepts sign prefixes (``-5`` would drive the
+#: decoder's ``_remaining`` negative and silently corrupt its slicing)
+#: and ``0x`` prefixes — so the token is validated against this first.
+_HEX_SIZE = re.compile(rb"[0-9a-fA-F]+\Z")
+
+#: Upper bound on a size/trailer line the decoder will buffer while
+#: waiting for its CRLF.  A peer (or an injected rogue-byte fault) that
+#: never sends the CRLF otherwise balloons ``_buffer`` without limit.
+MAX_LINE_LENGTH = 8192
 
 
 class ChunkedEncoder:
@@ -246,13 +266,16 @@ class ChunkedDecoder:
         while True:
             if self._phase == self._SIZE:
                 if CRLF not in self._buffer:
+                    if len(self._buffer) > MAX_LINE_LENGTH:
+                        raise ValueError(
+                            f"chunk size line exceeds {MAX_LINE_LENGTH} "
+                            f"bytes without CRLF")
                     break
                 line, self._buffer = self._buffer.split(CRLF, 1)
                 size_token = line.split(b";", 1)[0].strip()
-                try:
-                    size = int(size_token, 16)
-                except ValueError as exc:
-                    raise ValueError(f"bad chunk size line {line!r}") from exc
+                if not _HEX_SIZE.match(size_token):
+                    raise ValueError(f"bad chunk size line {line!r}")
+                size = int(size_token, 16)
                 if size == 0:
                     self._phase = self._TRAILER
                 else:
@@ -279,6 +302,10 @@ class ChunkedDecoder:
                 self._phase = self._SIZE
             elif self._phase == self._TRAILER:
                 if CRLF not in self._buffer:
+                    if len(self._buffer) > MAX_LINE_LENGTH:
+                        raise ValueError(
+                            f"trailer line exceeds {MAX_LINE_LENGTH} "
+                            f"bytes without CRLF")
                     break
                 line, self._buffer = self._buffer.split(CRLF, 1)
                 if line == b"":

@@ -427,7 +427,10 @@ class ProxygenInstance:
                 chunk = item.payload
                 if not isinstance(chunk, BodyChunk):
                     continue
-                yield from self.host.cpu.execute(costs.relay_message)
+                # A spliced bulk chunk stands for ``chunk.chunks`` wire
+                # frames (repro.splice) — fold their relay cost exactly.
+                yield from self.host.cpu.execute(
+                    costs.relay_message * chunk.chunks)
                 try:
                     stream.send(chunk, size=chunk.data_size,
                                 end_stream=chunk.is_last)

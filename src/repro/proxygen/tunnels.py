@@ -80,13 +80,22 @@ class EdgeMqttTunnel:
         messages from the end user toward the broker."""
         instance = self.instance
         costs = instance.config.costs
+        governor = instance.host.metrics.splice
         while self.client_conn.alive and not self.closed:
             item = yield self.client_conn.recv()
             if isinstance(item, StreamControl):
                 self._on_client_gone()
                 return
             message = item.payload
-            yield from instance.host.cpu.execute(costs.relay_message)
+            # Established-tunnel splice (repro.splice): while no
+            # mechanism window is open, relayed messages skip the
+            # userspace CPU round trip — the kernel-splice framing of
+            # §4.1.  Counters below are untouched either way.
+            if (governor is not None and governor.engaged
+                    and governor.config.tunnel_fastpath):
+                governor.relay_fastpath += 1
+            else:
+                yield from instance.host.cpu.execute(costs.relay_message)
             if self.stream is None or self.stream.reset or self.closed:
                 instance.counters.inc("mqtt_upstream_drop")
                 continue
@@ -105,6 +114,7 @@ class EdgeMqttTunnel:
     def _downstream_loop(self):
         instance = self.instance
         costs = instance.config.costs
+        governor = instance.host.metrics.splice
         while not self.closed:
             stream = self.stream
             frame = yield stream.recv()
@@ -123,7 +133,11 @@ class EdgeMqttTunnel:
                     continue
                 # Without DCR support, ignore: the drain will kill us.
                 continue
-            yield from instance.host.cpu.execute(costs.relay_message)
+            if (governor is not None and governor.engaged
+                    and governor.config.tunnel_fastpath):
+                governor.relay_fastpath += 1
+            else:
+                yield from instance.host.cpu.execute(costs.relay_message)
             if not self.client_conn.alive:
                 self._teardown()
                 return
@@ -340,13 +354,18 @@ class OriginMqttTunnel:
         """Edge stream → broker conn (runs in the stream's serve task)."""
         instance = self.instance
         costs = instance.config.costs
+        governor = instance.host.metrics.splice
         while not self.closed:
             frame = yield self.stream.recv()
             if frame.type == FrameType.RST_STREAM or self.stream.reset:
                 self._teardown(close_broker=True)
                 return
             message = frame.payload
-            yield from instance.host.cpu.execute(costs.relay_message)
+            if (governor is not None and governor.engaged
+                    and governor.config.tunnel_fastpath):
+                governor.relay_fastpath += 1
+            else:
+                yield from instance.host.cpu.execute(costs.relay_message)
             if isinstance(message, MqttDisconnect) and frame.end_stream:
                 # Graceful hand-off (DCR re-home away from us) or client
                 # disconnect: stop relaying, release the broker conn.
@@ -363,6 +382,7 @@ class OriginMqttTunnel:
         """Broker conn → edge stream."""
         instance = self.instance
         costs = instance.config.costs
+        governor = instance.host.metrics.splice
         while not self.closed:
             item = yield self.broker_conn.recv()
             if isinstance(item, StreamControl):
@@ -371,7 +391,11 @@ class OriginMqttTunnel:
                 self._teardown(close_broker=False)
                 return
             message = item.payload
-            yield from instance.host.cpu.execute(costs.relay_message)
+            if (governor is not None and governor.engaged
+                    and governor.config.tunnel_fastpath):
+                governor.relay_fastpath += 1
+            else:
+                yield from instance.host.cpu.execute(costs.relay_message)
             if self.stream.reset or self.closed:
                 instance.counters.inc("mqtt_edge_drop")
                 continue

@@ -76,7 +76,13 @@ class AnycastResolver:
 
     def start(self) -> None:
         self.process = self.host.spawn(self.name)
-        for target in self.targets:
+        # Without failover, routing only ever consults the home region
+        # (``route`` slices ``targets[:1]``), so probing remote regions
+        # is pure cross-region traffic for nothing — and it is what
+        # would couple otherwise-independent regions under the sharded
+        # runner (repro.shard).
+        monitored = self.targets if self.failover else self.targets[:1]
+        for target in monitored:
             self.process.run(self._monitor(target))
 
     # -- administrative ----------------------------------------------------

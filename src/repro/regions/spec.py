@@ -104,6 +104,20 @@ class RegionalSpec:
     #: Anycast failover + cross-region origin fallback; ``False`` pins
     #: every client/PoP to its home region (the ablation arm).
     failover: bool = True
+    #: Hash MQTT sessions onto the *home region's* brokers only instead
+    #: of the global cross-region ring.  Opt-in (default preserves the
+    #: global-ring behaviour DCR re-homing leans on); together with
+    #: ``failover=False`` and ``partition_network_rng`` it removes every
+    #: cross-region edge, which is what lets the sharded runner
+    #: (repro.shard) simulate regions in parallel workers and merge
+    #: results bit-identically.
+    local_broker_homing: bool = False
+    #: Draw network jitter/loss from one RNG stream per *source site*
+    #: instead of the single shared "network" stream.  Opt-in: the
+    #: shared stream's draw order depends on global event interleaving,
+    #: so per-site streams are required for shard-count-independent
+    #: results (and only for that — default runs keep their sequences).
+    partition_network_rng: bool = False
     anycast: AnycastConfig = field(default_factory=AnycastConfig)
     wan: WanConfig = field(default_factory=WanConfig)
     lb_scheme: Optional[str] = None

@@ -126,7 +126,8 @@ class RegionalDeployment:
         self.metrics = MetricsRegistry(bucket_width=spec.bucket_width)
         self.network = Network(self.env, self.streams,
                                default_profile=INTRA_DC,
-                               metrics=self.metrics)
+                               metrics=self.metrics,
+                               partition_rng=spec.partition_network_rng)
         self.anycast_https = Endpoint(spec.anycast_vip_ip, spec.https_port)
         self.anycast_mqtt = Endpoint(spec.anycast_vip_ip, spec.mqtt_port)
         self.origin_vip = Endpoint(spec.origin_vip_ip, spec.https_port)
@@ -174,12 +175,21 @@ class RegionalDeployment:
         # Pass 1: every region's Origin DC (brokers, apps, proxies, LB).
         for r in range(spec.regions):
             region = Region(f"r{r}", r)
+            # With local homing each region's origin tier hashes MQTT
+            # sessions over its own brokers only (repro.shard: no
+            # cross-region session placement = no cross-shard edge);
+            # the global ring is still built for callers that hold it.
+            region_ring: ConsistentHashRing[str] = (
+                ConsistentHashRing(replicas=60, salt=spec.seed)
+                if spec.local_broker_homing else self.broker_ring)
             for i in range(spec.brokers):
                 host = self._host(f"r{r}-broker-{i}", region.origin_site,
                                   spec.app_cores, spec.app_core_speed)
                 region.broker_hosts.append(host)
                 region.brokers.append(MqttBroker(host, spec.broker_config))
                 self.broker_ring.add(host.ip)
+                if region_ring is not self.broker_ring:
+                    region_ring.add(host.ip)
             app_config = spec.app_config
             if ambient is not None:
                 app_config = with_ambient(app_config or AppServerConfig())
@@ -192,7 +202,7 @@ class RegionalDeployment:
                 region.app_pool.add(server)
             origin_context = ProxyTierContext(
                 app_pool=region.app_pool,
-                broker_ring=self.broker_ring,
+                broker_ring=region_ring,
                 broker_port=spec.broker_port)
             origin_config = with_ambient(spec.resolved_origin_config())
             if origin_config.resilience.enabled:
@@ -411,32 +421,49 @@ class RegionalDeployment:
 
     # -- run ---------------------------------------------------------------
 
-    def start(self):
+    def start(self, only_regions: Optional[list] = None):
+        """Start the deployment; ``only_regions`` (region names) starts a
+        subset — a shard worker (repro.shard) builds the *full* topology
+        (identical IPs, names and rings everywhere) but animates only
+        its own regions."""
         plan = self._fault_plan or ambient_plan()
         if plan is not None and self.fault_injector is None:
             self.fault_injector = FaultInjector(self, plan).attach()
-        return self.env.process(self._startup())
+        return self.env.process(self._startup(only_regions))
 
-    def _startup(self):
-        for region in self.regions:
+    def _startup(self, only_regions: Optional[list] = None):
+        if only_regions is None:
+            regions = self.regions
+        else:
+            wanted = set(only_regions)
+            regions = [r for r in self.regions if r.name in wanted]
+            missing = wanted - {r.name for r in regions}
+            if missing:
+                raise KeyError(f"no region named {sorted(missing)}")
+        for region in regions:
             for broker in region.brokers:
                 broker.start()
             for app in region.app_servers:
                 app.start()
         boots = [self.env.process(server.start())
-                 for server in self.origin_servers]
+                 for region in regions
+                 for server in region.origin_servers]
         yield AllOf(self.env, boots)
         boots = [self.env.process(server.start())
-                 for server in self.edge_servers]
+                 for region in regions
+                 for server in region.edge_servers]
         yield AllOf(self.env, boots)
-        for katran in self.all_katrans():
-            katran.start(katran.host.spawn(katran.name))
-        for resolver in self.resolvers:
-            resolver.start()
-        for population in self.web_populations:
-            population.start()
-        for population in self.mqtt_populations:
-            population.start()
+        for region in regions:
+            for katran in region.katrans():
+                katran.start(katran.host.spawn(katran.name))
+        for region in regions:
+            for pop in region.pops:
+                if pop.resolver is not None:
+                    pop.resolver.start()
+                if pop.web_clients is not None:
+                    pop.web_clients.start()
+                if pop.mqtt_clients is not None:
+                    pop.mqtt_clients.start()
         if self.load_controller is not None:
             self.load_controller.start()
 

@@ -23,7 +23,7 @@ The pre-optimization implementation is frozen in
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappop
+from heapq import heapify, heappop
 from typing import Any, Generator, Optional
 
 from .events import (
@@ -71,6 +71,9 @@ class Environment:
         #: (event ids are strictly increasing, so such entries sort
         #: after every live heap entry).
         self._maxkey: tuple[float, int] = (float("-inf"), -1)
+        #: Cancelled future timeouts still sitting in the heap as
+        #: tombstones (see :meth:`repro.simkernel.events.Timeout.cancel`).
+        self._cancelled = 0
 
     # -- clock -----------------------------------------------------------
 
@@ -119,6 +122,35 @@ class Environment:
         if self._urgent or self._ready:
             return self._now
         return self._queue[0][0] if self._queue else float("inf")
+
+    def _note_cancelled(self) -> None:
+        """Count a heap tombstone; reclaim in bulk when they dominate.
+
+        Called by :meth:`repro.simkernel.events.Timeout.cancel`.  The
+        threshold keeps compaction amortized O(1) per cancellation, and
+        the floor keeps tiny simulations from ever paying a heapify.
+        """
+        self._cancelled += 1
+        if self._cancelled > 64 and self._cancelled * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled-timeout tombstones from the future heap.
+
+        A tombstone is a *succeeded* event with no callbacks left that
+        was explicitly defused by ``Timeout.cancel`` — popping it would
+        be a no-op, so removing it early changes neither pop order
+        (heap keys are unique) nor event ids (cancel never pushes).
+        """
+        queue = self._queue
+        live = [entry for entry in queue
+                if not (entry[3]._defused and entry[3]._ok
+                        and not entry[3].callbacks)]
+        if len(live) != len(queue):
+            # In place: the run loop holds a local reference to this list.
+            queue[:] = live
+            heapify(queue)
+        self._cancelled = 0
 
     def _pop(self) -> Event:
         """Remove and return the next event in (time, priority, id) order.

@@ -276,6 +276,37 @@ class Timeout(Event):
     def delay(self) -> float:
         return self._delay
 
+    def cancel(self) -> None:
+        """Withdraw a timeout nobody is waiting on anymore.
+
+        Only takes effect once ``callbacks`` is empty (the caller must
+        detach its own callback first): a timeout other processes still
+        wait on keeps firing for them.  A cancelled timeout stays in the
+        schedule as a tombstone — it pops as a no-op at its original
+        time, so event ids and the clock advance identically to an
+        uncancelled run — but the environment reclaims tombstones in
+        bulk once they dominate the heap (see ``Environment._compact``),
+        which keeps races that cancel their loser (``with_timeout``)
+        from growing the heap without bound.
+
+        ``Process.interrupt`` calls this through its generic
+        ``target.cancel`` hook, so interrupting a process parked on a
+        private timeout also reclaims that timeout.
+        """
+        callbacks = self.callbacks
+        if callbacks is None or callbacks:
+            return  # already processed, or others still waiting
+        # Reuse the (otherwise meaningless for succeeded events)
+        # ``_defused`` flag as the tombstone marker: succeeded heap
+        # entries only ever carry it through this method.
+        self._defused = True
+        if self._delay > 0:
+            env = self.env
+            try:
+                env._note_cancelled()
+            except AttributeError:
+                pass  # reference-style environment: tombstone just pops
+
 
 class Initialize(Event):
     """Internal event used to start a new :class:`Process`."""

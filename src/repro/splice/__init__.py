@@ -1,0 +1,247 @@
+"""The splice fast path: bulk transfers skip per-chunk simulation.
+
+The paper's XLB tier *splices* established connections into the kernel
+so bulk bytes never touch userspace (§4.1): once a connection is set up
+and no release mechanism needs to see individual bytes, the data plane
+collapses to a zero-copy pipe.  This package models the same move for
+the simulator itself — the per-chunk event train of an established
+transfer (client pacing timeouts, per-chunk transmits, per-chunk proxy
+relay iterations, per-chunk CPU scheduling) is the #1 cost of
+figure-scale runs, and none of it changes *what* a quiescent transfer
+delivers, only how many simulator events it takes to deliver it.
+
+Fidelity rules
+--------------
+* **Byte totals and message counts fold exactly.**  A spliced transfer
+  moves the same bytes as its per-chunk equivalent in one
+  :class:`~repro.protocols.http.BodyChunk` carrying the whole train
+  (``chunks`` records how many frames it stands for); every counter a
+  relay increments per *request* or per *byte* is unchanged, and
+  per-chunk CPU cost is folded into one scaled charge.
+* **Mechanism windows always see per-chunk fidelity.**  The governor
+  disengages while any release walk targets the deployment or any
+  fault window is open — takeover, DCR, PPR and fault injection
+  operate on exactly the event stream they were built against.
+  In-flight bulk transfers *de-splice*: the governor's wake event
+  interrupts them, the bytes virtually sent so far are flushed as one
+  catch-up chunk, and the remainder streams per-chunk.
+* **Timing is approximate, outcomes are not.**  A spliced transfer
+  completes at the closed-form time of its pacing (identical) plus one
+  network traversal per hop instead of one per chunk; completion
+  *outcomes* (which requests succeed, every counter) are preserved —
+  the differential suite in ``tests/splice`` proves snapshot equality
+  on finite-work runs.
+
+The governor deliberately keeps its own statistics as plain integers
+(:meth:`SpliceGovernor.stats`) instead of metrics counters: the metrics
+snapshot of a splice-on run must stay bit-identical to the splice-off
+run, so the fast path may not leave fingerprints there.
+
+Observer wiring reuses the condensation pattern of
+:mod:`repro.cohorts.drivers`: module-global observer lists hold only a
+weak reference to the governor, so dead deployments unhook themselves.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Optional
+
+from ..release import orchestrator as release_orchestrator
+from ..simkernel.events import AnyOf
+
+__all__ = ["SpliceConfig", "SpliceGovernor", "ambient_splice",
+           "set_ambient_splice", "clear_ambient_splice"]
+
+
+@dataclass(frozen=True)
+class SpliceConfig:
+    """Opt-in switch + thresholds for the splice fast path."""
+
+    enabled: bool = True
+    #: Minimum body size (bytes) worth collapsing; tiny transfers do
+    #: not amortize the bookkeeping.
+    min_bulk_bytes: int = 128_000
+    #: Established-tunnel relays skip the per-message CPU scheduling
+    #: round trip (the kernel-splice framing: relayed bytes stop
+    #: touching proxy userspace).
+    tunnel_fastpath: bool = True
+
+
+class SpliceGovernor:
+    """Deployment-scoped arbiter of when splicing is allowed.
+
+    ``engaged`` is the one-attribute-read hot-path test; it is true only
+    while no release walk targets this deployment and no fault window is
+    open.  Components that parked a bulk transfer subscribe to
+    :meth:`wake` so a mechanism boundary de-splices them mid-flight.
+    """
+
+    def __init__(self, env, config: Optional[SpliceConfig] = None):
+        self.env = env
+        self.config = config or SpliceConfig()
+        self.enabled = self.config.enabled
+        #: Open suspension windows by kind ("release", "fault", ...).
+        self._suspended: dict[str, int] = {}
+        self.engaged = self.enabled
+        self._wake = env.event()
+        #: Plain-int statistics (never metrics counters — see module
+        #: docstring).
+        self.bulk_transfers = 0
+        self.bulk_bytes = 0
+        self.chunks_elided = 0
+        self.desplices = 0
+        self.relay_fastpath = 0
+        self._deployment_ref = None
+        self._release_observer = None
+
+    # -- hot-path hooks ----------------------------------------------------
+
+    def wake(self):
+        """Event that fires at the next mechanism boundary.
+
+        Bulk transfers race their completion timeout against this so a
+        beginning release/fault window pulls them back to per-chunk
+        fidelity immediately, not at the next transfer.
+        """
+        return self._wake
+
+    def bulk_wait(self, delay: float):
+        """Wait ``delay`` sim-seconds unless a de-splice arrives first.
+
+        Generator (``yield from``).  Returns ``True`` when the wait ran
+        to completion (the transfer stayed spliced) and ``False`` when a
+        mechanism boundary woke it early.  The losing event is detached
+        so a long run of completed bulk transfers leaves neither dead
+        callbacks on the shared wake event nor dead timeouts on the
+        scheduler heap (the latter via :meth:`Timeout.cancel
+        <repro.simkernel.events.Timeout.cancel>` tombstoning).
+        """
+        env = self.env
+        pacing = env.timeout(delay)
+        wake = self._wake
+        race = AnyOf(env, [pacing, wake])
+        result = yield race
+        if pacing in result:
+            callbacks = wake.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(race._check)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            return True
+        callbacks = pacing.callbacks
+        if callbacks is not None:
+            try:
+                callbacks.remove(race._check)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            cancel = getattr(pacing, "cancel", None)
+            if cancel is not None:
+                cancel()
+        return False
+
+    def note_bulk(self, size: int, chunks: int) -> None:
+        self.bulk_transfers += 1
+        self.bulk_bytes += size
+        self.chunks_elided += max(0, chunks - 1)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "bulk_transfers": self.bulk_transfers,
+            "bulk_bytes": self.bulk_bytes,
+            "chunks_elided": self.chunks_elided,
+            "desplices": self.desplices,
+            "relay_fastpath": self.relay_fastpath,
+        }
+
+    # -- suspension windows ------------------------------------------------
+
+    def suspend(self, kind: str) -> None:
+        """A mechanism window opened: de-splice until it closes."""
+        self._suspended[kind] = self._suspended.get(kind, 0) + 1
+        if self.engaged:
+            self.desplices += 1
+            self.engaged = False
+            # Wake every parked bulk transfer; new waiters get a fresh
+            # event for the *next* boundary.
+            wake, self._wake = self._wake, self.env.event()
+            wake.succeed("desplice")
+
+    def resume(self, kind: str) -> None:
+        count = self._suspended.get(kind, 0) - 1
+        if count <= 0:
+            self._suspended.pop(kind, None)
+        else:
+            self._suspended[kind] = count
+        self.engaged = self.enabled and not self._suspended
+
+    # -- observer wiring ---------------------------------------------------
+
+    def attach(self, deployment) -> "SpliceGovernor":
+        """Watch release walks and fault windows touching ``deployment``."""
+        self._deployment_ref = weakref.ref(deployment)
+        ref = weakref.ref(self)
+
+        def release_observer(phase: str, release) -> None:
+            governor = ref()
+            if governor is None:
+                release_orchestrator.remove_release_observer(
+                    release_observer)
+                return
+            governor._on_release(phase, release)
+
+        self._release_observer = release_observer
+        release_orchestrator.add_release_observer(release_observer)
+
+        from ..faults import injector as fault_injector
+
+        def fault_observer(phase: str, record) -> None:
+            governor = ref()
+            if governor is None:
+                fault_injector.remove_fault_observer(fault_observer)
+                return
+            governor._on_fault(phase)
+
+        fault_injector.add_fault_observer(fault_observer)
+        return self
+
+    def _on_release(self, phase: str, release) -> None:
+        deployment = (self._deployment_ref()
+                      if self._deployment_ref is not None else None)
+        if deployment is not None:
+            ours = {id(s) for s in (deployment.edge_servers
+                                    + deployment.origin_servers
+                                    + deployment.app_servers)}
+            if not any(id(target) in ours for target in release.targets):
+                return
+        if phase == "begin":
+            self.suspend("release")
+        elif phase == "end":
+            self.resume("release")
+
+    def _on_fault(self, phase: str) -> None:
+        if phase == "inject":
+            self.suspend("fault")
+        elif phase == "clear":
+            self.resume("fault")
+
+
+# -- ambient policy (the CLI's --splice) ------------------------------------
+
+_ambient: Optional[SpliceConfig] = None
+
+
+def set_ambient_splice(config: Optional[SpliceConfig]) -> None:
+    global _ambient
+    _ambient = config
+
+
+def ambient_splice() -> Optional[SpliceConfig]:
+    return _ambient
+
+
+def clear_ambient_splice() -> None:
+    global _ambient
+    _ambient = None

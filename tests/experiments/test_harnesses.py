@@ -26,7 +26,8 @@ def test_registry_covers_every_figure():
     expected = {"chaos", "resilience", "fig02", "fig02d", "fig03",
                 "fig08", "fig09",
                 "fig10", "fig11", "fig12", "fig13", "fig15", "fig16",
-                "fig17", "lbablation", "opsloop", "regionevac"}
+                "fig17", "lbablation", "opsloop", "regionevac",
+                "shardscale"}
     assert set(ALL_EXPERIMENTS) == expected
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run")

@@ -1,0 +1,114 @@
+"""Chunked-decoder hardening: strict size tokens + bounded line buffers.
+
+Two failing-first regressions pinned here:
+
+* ``int(token, 16)`` is far laxer than RFC 9112's ``1*HEXDIG`` — it
+  accepts sign prefixes (``-5`` drove ``_remaining`` negative and
+  silently corrupted the decoder's slicing), ``0x`` prefixes, and
+  digit-group underscores (``1_0`` parses as 16).  The decoder now
+  validates the token against a strict hex pattern first.
+* A peer (or an injected rogue-byte fault) that never terminates a
+  size/trailer line with CRLF used to balloon ``_buffer`` without
+  limit; lines are now capped at ``MAX_LINE_LENGTH``.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols import ChunkedDecoder, ChunkedEncoder, MAX_LINE_LENGTH
+
+
+# -- strict hex size tokens ---------------------------------------------------
+
+
+@pytest.mark.parametrize("line", [
+    b"-5\r\nhello\r\n",      # sign prefix: negative _remaining
+    b"+5\r\nhello\r\n",
+    b"0x5\r\nhello\r\n",     # base prefix
+    b"0X5\r\nhello\r\n",
+    b"1_0\r\n" + b"a" * 16 + b"\r\n",  # int() underscore grouping
+    b"\r\nhello\r\n",        # empty token
+    b"  \r\nhello\r\n",      # whitespace-only token
+])
+def test_lax_int_parses_are_rejected(line):
+    decoder = ChunkedDecoder()
+    with pytest.raises(ValueError, match="bad chunk size"):
+        decoder.feed(line)
+
+
+def test_plain_hex_still_accepted_any_case():
+    decoder = ChunkedDecoder()
+    out = decoder.feed(b"A\r\n0123456789\r\n" + b"0\r\n\r\n")
+    assert out == b"0123456789"
+    assert decoder.finished
+
+
+# -- bounded line buffers -----------------------------------------------------
+
+
+def test_unterminated_size_line_is_capped():
+    decoder = ChunkedDecoder()
+    with pytest.raises(ValueError, match="size line exceeds"):
+        decoder.feed(b"5" * (MAX_LINE_LENGTH + 1))
+
+
+def test_unterminated_size_line_capped_incrementally():
+    decoder = ChunkedDecoder()
+    decoder.feed(b"5" * MAX_LINE_LENGTH)  # at the cap: still waiting
+    with pytest.raises(ValueError, match="size line exceeds"):
+        decoder.feed(b"55")
+
+
+def test_unterminated_trailer_line_is_capped():
+    decoder = ChunkedDecoder()
+    decoder.feed(b"0\r\n")  # terminal chunk: now in trailer phase
+    with pytest.raises(ValueError, match="trailer line exceeds"):
+        decoder.feed(b"x" * (MAX_LINE_LENGTH + 1))
+
+
+def test_long_but_terminated_trailer_is_fine():
+    wire = (ChunkedEncoder.encode_chunk(b"data")
+            + b"0\r\n" + b"x-pad: " + b"y" * 1000 + b"\r\n\r\n")
+    decoder = ChunkedDecoder()
+    assert decoder.feed(wire) == b"data"
+    assert decoder.finished
+
+
+# -- state equivalence under arbitrary fragmentation --------------------------
+
+
+def _state(decoder: ChunkedDecoder) -> tuple:
+    state = decoder.state
+    return (state.bytes_decoded, state.chunks_completed,
+            state.mid_chunk_remaining, state.finished)
+
+
+@given(st.binary(min_size=1, max_size=600),
+       st.integers(min_value=1, max_value=64),
+       st.data())
+def test_decoder_state_identical_at_every_prefix(body, chunk_size, data):
+    """What a PPR proxy must remember (§5.2) cannot depend on TCP
+    segmentation: after consuming any wire prefix, payload and exact
+    position state match a byte-at-a-time reference decode."""
+    wire = ChunkedEncoder.encode_body(body, chunk_size=chunk_size)
+
+    reference = ChunkedDecoder()
+    states = []
+    payloads = []
+    for offset in range(len(wire)):
+        reference.feed(wire[offset:offset + 1])
+        states.append(_state(reference))
+        payloads.append(bytes(reference.payload))
+
+    decoder = ChunkedDecoder()
+    position = 0
+    while position < len(wire):
+        step = data.draw(st.integers(min_value=1,
+                                     max_value=len(wire) - position))
+        decoder.feed(wire[position:position + step])
+        position += step
+        assert _state(decoder) == states[position - 1]
+        assert bytes(decoder.payload) == payloads[position - 1]
+    assert decoder.finished
+    assert bytes(decoder.payload) == body

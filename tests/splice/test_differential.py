@@ -1,0 +1,124 @@
+"""The splice fast path's headline proof: differential fidelity.
+
+Same seed, same finite-work deployment (every client stops after
+``max_requests``, all terminal well before the horizon), run twice —
+splice on vs splice off.  The spliced run collapses each bulk upload's
+chunk train into one transfer event, so its *event schedule* differs by
+design; its *outcomes* must not.  The contract, pinned empirically and
+enforced here:
+
+* **Deployment-wide aggregated counters are bit-identical** for every
+  key except connection-pool churn (``tcp_syn_sent`` / ``tcp_accepted``
+  and its per-peer tags): coarser spliced timing shifts *when* idle
+  pooled connections get reused vs reopened, but never which requests
+  complete or how (every outcome, byte and message counter matches).
+* **Invariant verdicts are identical** (both clean).
+* **Mechanism counters are identical** — and a release mid-run forces
+  in-flight bulk transfers to *de-splice*, so takeover runs against
+  per-chunk fidelity while the splice-off arm sees the same mechanism
+  totals.
+"""
+
+import pytest
+
+from repro.clients.web import WebWorkloadConfig
+from repro.experiments.common import build_deployment
+from repro.invariants import runtime as invariant_runtime
+from repro.perf.differential import reset_id_allocators
+from repro.release.orchestrator import RollingRelease, RollingReleaseConfig
+from repro.shard import counters_snapshot
+from repro.splice import SpliceConfig
+
+SEEDS = (7, 11)
+
+#: Connection-pool churn: the only counter families allowed to differ
+#: between the arms (reuse-vs-reopen is a timing artifact; everything
+#: the requests *did* is pinned exactly).
+CHURN_PREFIXES = ("tcp_syn_sent", "tcp_accepted")
+
+#: The paper's per-flow mechanisms, whose totals must fold exactly.
+MECHANISMS = ("takeover_", "dcr_", "ppr_")
+
+HORIZON = 240.0
+
+
+def _workload() -> WebWorkloadConfig:
+    # Every post crosses min_bulk_bytes (128 kB) so the governor sees
+    # real work; max_requests makes the run finite so both arms settle.
+    return WebWorkloadConfig(clients_per_host=6, think_time=1.0,
+                             post_fraction=0.5,
+                             post_size_min=400_000,
+                             post_size_cap=2_000_000,
+                             max_requests=6)
+
+
+def _run(seed: int, splice: bool, release: bool = False):
+    reset_id_allocators()
+    deployment = build_deployment(
+        seed=seed,
+        edge_proxies=3,
+        origin_proxies=2,
+        app_servers=2,
+        web=_workload(),
+        splice=SpliceConfig() if splice else None)
+    if release:
+        deployment.run(until=3.0)
+        walk = RollingRelease(deployment.env, deployment.edge_servers[:2],
+                              RollingReleaseConfig(batch_fraction=1.0))
+        deployment.env.process(walk.execute())
+    deployment.run(until=HORIZON)
+    verdicts = sorted(str(v) for v in invariant_runtime.drain())
+    return deployment, _aggregate(deployment.metrics), verdicts
+
+
+def _aggregate(metrics) -> dict:
+    """Deployment-wide counter totals, churn families excluded."""
+    totals: dict = {}
+    for counters in counters_snapshot(metrics).values():
+        for key, value in counters.items():
+            totals[key] = totals.get(key, 0) + value
+    return {key: value for key, value in totals.items()
+            if not key.startswith(CHURN_PREFIXES)}
+
+
+def _mechanisms(aggregate: dict) -> dict:
+    return {key: value for key, value in aggregate.items()
+            if key.startswith(MECHANISMS)}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_splice_on_off_aggregates_identical(seed):
+    on_deployment, on, on_verdicts = _run(seed, splice=True)
+    _, off, off_verdicts = _run(seed, splice=False)
+
+    governor = on_deployment.splice
+    assert governor is not None and governor.bulk_transfers > 0, (
+        "the splice arm never engaged — the differential is vacuous")
+    assert governor.chunks_elided > 0
+
+    assert on == off, f"seed {seed}: aggregated counters diverged"
+    assert on_verdicts == off_verdicts == []
+
+
+def test_differential_is_not_vacuous():
+    """The workload exercises what the comparison pins."""
+    _, aggregate, _ = _run(SEEDS[0], splice=True)
+    assert aggregate.get("post_ok", 0) > 0
+    assert aggregate.get("get_ok", 0) > 0
+
+
+def test_release_desplices_and_mechanisms_fold(monkeypatch=None):
+    on_deployment, on, on_verdicts = _run(SEEDS[0], splice=True,
+                                          release=True)
+    _, off, off_verdicts = _run(SEEDS[0], splice=False, release=True)
+
+    governor = on_deployment.splice
+    assert governor.desplices > 0, (
+        "the release window never de-spliced the governor")
+    assert governor.bulk_transfers > 0
+
+    assert _mechanisms(on) == _mechanisms(off)
+    assert _mechanisms(on).get("takeover_completed", 0) >= 1, (
+        "the release never exercised socket takeover")
+    assert on_verdicts == off_verdicts == []
+    assert on == off, "aggregated counters diverged across a release"
